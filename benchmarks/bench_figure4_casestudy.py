@@ -1,0 +1,80 @@
+"""E-F4 — Figure 4 / Sec. 7.1: destabilizing the leakage correlation.
+
+Reproduces the n100 case study: TSC-aware floorplan, Gaussian activity
+sampling (Eq. 2), stability-guided dummy-TSV insertion with the
+sweet-spot stop criterion.  Reports the correlation before/after and the
+trade-off effect the paper describes (previously decorrelated regions may
+re-correlate locally).
+
+The paper's showcased example drops r from 0.461 to 0.324 (~30%); the
+averaged effect of dummy TSVs alone is smaller (Table 2: r1 0.351 ->
+0.324 including all floorplanning effects).  We assert the direction and
+the stop criterion, and report the measured magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import sa_iterations
+from repro import FloorplanMode, load_benchmark
+from repro.core.config import env_int
+from repro.floorplan import AnnealConfig, anneal
+from repro.layout.grid import GridSpec
+from repro.leakage.pearson import local_correlation_map
+from repro.mitigation import MitigationConfig, insert_dummy_tsvs
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    circ, stack = load_benchmark("n100")
+    result = anneal(
+        circ.modules, stack, circ.nets, circ.terminals,
+        mode=FloorplanMode.TSC_AWARE,
+        config=AnnealConfig(iterations=sa_iterations(), seed=4,
+                            calibration_samples=8),
+    )
+    return result.floorplan
+
+
+def test_figure4_report(benchmark, floorplan):
+    samples = env_int("REPRO_SAMPLES", 40)
+    report = insert_dummy_tsvs(
+        floorplan,
+        MitigationConfig(samples=samples, tsvs_per_round=16, max_rounds=8,
+                         grid_nx=32, grid_ny=32, seed=1, target_die=0),
+    )
+
+    print("\nFigure 4 — dummy-TSV post-processing on n100 (bottom die)")
+    print(f"activity samples per round: {samples} (paper: 100)")
+    print("correlation trace:", ["%.3f" % r for r in report.correlation_trace])
+    print(f"dummy TSVs inserted: {report.inserted} over {report.rounds} rounds")
+    r0, r1 = report.initial_correlation, report.final_correlation
+    if r0 > 0:
+        print(f"correlation drop: {100 * (1 - r1 / r0):.1f}% "
+              f"(paper's showcased case: ~30%)")
+
+    # direction: insertion never increases the tracked correlation
+    diffs = np.diff(report.correlation_trace)
+    assert np.all(diffs < 0) or len(report.correlation_trace) == 1
+    # sweet-spot criterion: the loop stops at or before max_rounds
+    assert report.rounds <= 8
+
+    # trade-off effect (Sec. 7.1): check for locally increased correlation
+    from repro.core.flow import verify_correlations
+
+    grid = GridSpec(floorplan.stack.outline, 32, 32)
+    _, pmaps_before, tmaps_before, _ = verify_correlations(floorplan, grid)
+    _, pmaps_after, tmaps_after, _ = verify_correlations(report.floorplan, grid)
+    local_before = local_correlation_map(pmaps_before[0], tmaps_before[0], window=4)
+    local_after = local_correlation_map(pmaps_after[0], tmaps_after[0], window=4)
+    increased = float((local_after > local_before + 0.05).mean())
+    print(f"fraction of bins with locally increased correlation after "
+          f"insertion: {100 * increased:.1f}% (the paper's trade-off effect)")
+    benchmark(np.mean, np.asarray(report.correlation_trace))
+
+
+def test_stability_sampling_speed(benchmark, floorplan):
+    from repro.mitigation.activity import sample_power_maps
+
+    grid = GridSpec(floorplan.stack.outline, 32, 32)
+    benchmark(sample_power_maps, floorplan, grid, 10, 0.10, 0)

@@ -1,0 +1,105 @@
+"""Perf — microbenchmarks of the engine's hot kernels.
+
+Not a paper artifact; tracks the throughput of the pieces that gate the
+flow's wall-clock: sequence-pair packing, vectorized wirelength, the
+leakage metrics, fast thermal estimation, the detailed solve, and voltage
+assignment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import load
+from repro.floorplan.objectives import CompiledNetlist
+from repro.floorplan.seqpair import LayoutState
+from repro.layout.grid import GridSpec
+from repro.leakage.entropy import spatial_entropy
+from repro.leakage.pearson import die_correlation
+from repro.leakage.stability import stability_map
+from repro.power.assignment import AssignmentObjective, assign_voltages
+from repro.thermal.fast import FastThermalModel
+from repro.thermal.stack import build_stack
+from repro.thermal.steady_state import SteadyStateSolver
+
+
+@pytest.fixture(scope="module")
+def n100_state():
+    circ, stack = load("n100")
+    rng = np.random.default_rng(0)
+    return circ, stack, LayoutState.initial(circ.modules, stack, rng)
+
+
+@pytest.fixture(scope="module")
+def ibm03_state():
+    circ, stack = load("ibm03")
+    rng = np.random.default_rng(0)
+    return circ, stack, LayoutState.initial(circ.modules, stack, rng)
+
+
+def test_pack_n100(benchmark, n100_state):
+    _, _, state = n100_state
+    benchmark(state.pack)
+
+
+def test_pack_ibm03(benchmark, ibm03_state):
+    """~1300 modules: the packing kernel must stay in the low-ms range."""
+    _, _, state = ibm03_state
+    benchmark(state.pack)
+
+
+def test_wirelength_ibm03(benchmark, ibm03_state):
+    circ, stack, state = ibm03_state
+    nl = CompiledNetlist(list(circ.modules), circ.nets, circ.terminals)
+    positions, _ = state.pack()
+    cx = np.empty(nl.num_modules)
+    cy = np.empty(nl.num_modules)
+    dd = np.empty(nl.num_modules, dtype=np.int64)
+    for name, idx in nl.module_index.items():
+        x, y = positions[name]
+        w, h = state.effective_size(name)
+        cx[idx] = x + w / 2
+        cy[idx] = y + h / 2
+        dd[idx] = state.die_of[name]
+    benchmark(nl.wirelength, cx, cy, dd, 50.0)
+
+
+def test_spatial_entropy_64(benchmark):
+    rng = np.random.default_rng(1)
+    pm = rng.lognormal(0, 0.8, size=(64, 64))
+    benchmark(spatial_entropy, pm)
+
+
+def test_pearson_64(benchmark):
+    rng = np.random.default_rng(2)
+    p = rng.random((64, 64))
+    t = rng.random((64, 64))
+    benchmark(die_correlation, p, t)
+
+
+def test_stability_map_100_samples(benchmark):
+    rng = np.random.default_rng(3)
+    ps = [rng.random((32, 32)) for _ in range(100)]
+    ts = [2 * p + 0.1 * rng.random((32, 32)) for p in ps]
+    benchmark(stability_map, ps, ts)
+
+
+def test_fast_thermal_64(benchmark):
+    model = FastThermalModel(num_dies=2)
+    rng = np.random.default_rng(4)
+    pms = [rng.random((64, 64)) * 1e-3 for _ in range(2)]
+    benchmark(model.estimate, pms)
+
+
+def test_detailed_solve_32(benchmark, n100_state):
+    _, stack, _ = n100_state
+    grid = GridSpec(stack.outline, 32, 32)
+    solver = SteadyStateSolver(build_stack(stack, grid))
+    pm = np.full(grid.shape, 4.0 / 1024)
+    benchmark(solver.solve, [pm, pm])
+
+
+def test_voltage_assignment_n100(benchmark, n100_state):
+    circ, stack, state = n100_state
+    fp = state.realize(circ.nets, circ.terminals, place_tsvs=False)
+    inflation = {n: 1.6 for n in fp.placements}
+    benchmark(assign_voltages, fp, inflation, AssignmentObjective.TSC_AWARE)

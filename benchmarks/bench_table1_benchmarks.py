@@ -1,0 +1,54 @@
+"""E-T1 — Table 1: properties of the GSRC and IBM-HB+ benchmarks.
+
+Regenerates every column of Table 1 from the synthetic suite and checks
+it against the paper's numbers (which the generator targets by
+construction).  Also times benchmark generation as the perf metric.
+"""
+
+import pytest
+
+from repro.benchmarks import TABLE1, benchmark_names, generate_circuit, load, spec_for
+
+
+EXPECTED = {
+    #        hard soft scale nets terms outline power
+    "n100": (0, 100, 10, 885, 334, 16.0, 7.83),
+    "n200": (0, 200, 10, 1585, 564, 16.0, 7.84),
+    "n300": (0, 300, 10, 1893, 569, 23.04, 13.05),
+    "ibm01": (246, 665, 2, 5829, 246, 25.0, 4.02),
+    "ibm03": (290, 999, 2, 10279, 283, 64.0, 19.78),
+    "ibm07": (291, 829, 2, 15047, 287, 64.0, 9.92),
+}
+
+
+def test_table1_report(benchmark):
+    header = (
+        f"{'Name':<8}{'Modules (H/S)':>14}{'Scale':>7}{'#Nets':>8}"
+        f"{'#Terms':>8}{'Outline mm2':>13}{'Power W':>9}"
+    )
+    print("\nTable 1 — benchmark properties (synthetic suite)")
+    print(header)
+    print("-" * len(header))
+    for name in benchmark_names():
+        circ, stack = load(name)
+        spec = spec_for(name)
+        print(
+            f"{name:<8}{f'({circ.num_hard}/{circ.num_soft})':>14}"
+            f"{spec.scale_factor:>7.0f}{len(circ.nets):>8}"
+            f"{len(circ.terminals):>8}{stack.outline.area / 1e6:>13.2f}"
+            f"{circ.total_power:>9.2f}"
+        )
+        hard, soft, scale, nets, terms, outline, power = EXPECTED[name]
+        assert circ.num_hard == hard
+        assert circ.num_soft == soft
+        assert len(circ.terminals) == terms
+        assert abs(stack.outline.area / 1e6 - outline) < 1e-6
+        assert abs(circ.total_power - power) < 1e-6
+        assert nets * 0.95 <= len(circ.nets) <= nets
+    benchmark(spec_for, "n100")
+
+
+@pytest.mark.parametrize("name", ["n100", "ibm03"])
+def test_generation_speed(benchmark, name):
+    spec = spec_for(name)
+    benchmark(generate_circuit, spec)

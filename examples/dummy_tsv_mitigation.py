@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fig. 4 case study: stability-guided dummy thermal TSV insertion.
+
+Floorplans n100 TSC-aware *without* post-processing, then runs the
+Sec. 6.2 mitigation loop explicitly: Gaussian activity sampling, the
+Eq. 2 correlation-stability map, and iterative dummy-TSV insertion until
+the sweet spot.  Prints the correlation trace (the paper's example drops
+0.461 -> 0.324, about 30%).
+"""
+
+import numpy as np
+
+from repro import FlowConfig, FloorplanMode, load_benchmark, run_flow
+from repro.core.config import env_int
+from repro.floorplan import AnnealConfig
+from repro.layout.grid import GridSpec
+from repro.mitigation import MitigationConfig, insert_dummy_tsvs
+
+
+def main() -> None:
+    circuit, stack = load_benchmark("n100")
+    iterations = env_int("REPRO_SA_ITERS", 1000)
+    config = FlowConfig(
+        mode=FloorplanMode.TSC_AWARE,
+        anneal=AnnealConfig(iterations=iterations, seed=4),
+        # disable in-flow mitigation; we run it by hand below
+        mitigation=MitigationConfig(samples=1, max_rounds=0),
+        verify_nx=32, verify_ny=32,
+    )
+    outcome = run_flow(circuit, stack, config)
+    floorplan = outcome.floorplan
+
+    mitigation = insert_dummy_tsvs(
+        floorplan,
+        MitigationConfig(samples=env_int("REPRO_SAMPLES", 60),
+                         tsvs_per_round=8, max_rounds=10,
+                         grid_nx=32, grid_ny=32, seed=1),
+    )
+
+    print(f"dummy thermal TSVs inserted: {mitigation.inserted} "
+          f"over {mitigation.rounds} rounds")
+    print("correlation trace (average |r| per insertion round):")
+    for i, r in enumerate(mitigation.correlation_trace):
+        print(f"  round {i}: {r:.3f}")
+    r0, r1 = mitigation.initial_correlation, mitigation.final_correlation
+    if r0 > 0:
+        print(f"\ncorrelation dropped {100 * (1 - r1 / r0):.1f}% "
+              f"(paper's Fig. 4 example: 0.461 -> 0.324, ~30%)")
+    print(f"final per-die correlations: "
+          f"{['%.3f' % c for c in mitigation.final_correlations]}")
+
+    if mitigation.last_stability is not None:
+        s = np.abs(mitigation.last_stability)
+        print(f"\nstability map (Eq. 2) summary: mean |r_xy| = {s.mean():.3f}, "
+              f"max = {s.max():.3f} — TSVs were inserted at the most stable bins")
+
+
+if __name__ == "__main__":
+    main()

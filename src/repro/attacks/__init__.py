@@ -1,0 +1,21 @@
+"""Thermal side-channel attacks (Sec. 5): characterization, localization."""
+
+from .characterization import CharacterizationResult, characterize
+from .device import InputActivityModel, ThermalDevice
+from .covert import CovertChannelResult, channel_capacity_sweep, run_covert_channel
+from .localization import LocalizationResult, localize_module, monitor_module
+from .sensors import SensorGrid
+
+__all__ = [
+    "CharacterizationResult",
+    "CovertChannelResult",
+    "channel_capacity_sweep",
+    "run_covert_channel",
+    "characterize",
+    "InputActivityModel",
+    "ThermalDevice",
+    "LocalizationResult",
+    "localize_module",
+    "monitor_module",
+    "SensorGrid",
+]

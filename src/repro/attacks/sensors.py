@@ -1,0 +1,85 @@
+"""On-chip thermal sensor model and readout interpolation.
+
+Sec. 5's attacker "has unlimited access to all thermal sensors, spread
+across the 3D IC, and can thus obtain high-accuracy and continuous
+thermal readings of any (part of a) module at will".  We model a regular
+sensor grid per die with additive Gaussian readout noise; full-map
+estimates come from bilinear interpolation of the sensor readings — the
+interpolation-based estimation the paper cites (Beneventi et al.).
+
+A noise-free, full-resolution readout (``SensorGrid.ideal``) realizes the
+paper's strongest attacker assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy.interpolate import RegularGridInterpolator
+
+__all__ = ["SensorGrid"]
+
+
+@dataclass
+class SensorGrid:
+    """A ``rows x cols`` sensor array over one die's thermal map.
+
+    ``noise_sigma`` is the readout noise in K.  Sensors sample the thermal
+    map at their nearest grid cell (on-chip sensors measure their local
+    silicon temperature).
+    """
+
+    rows: int = 8
+    cols: int = 8
+    noise_sigma: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError("sensor grid needs at least 2x2 sensors")
+        if self.noise_sigma < 0:
+            raise ValueError("noise sigma must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @staticmethod
+    def ideal(shape: Tuple[int, int]) -> "SensorGrid":
+        """The strongest attacker: one noise-free sensor per thermal bin."""
+        return SensorGrid(rows=shape[0], cols=shape[1], noise_sigma=0.0)
+
+    def positions(self, shape: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        """(row indices, col indices) of the sensors on a (ny, nx) map."""
+        ny, nx = shape
+        rr = np.linspace(0, ny - 1, self.rows)
+        cc = np.linspace(0, nx - 1, self.cols)
+        return np.round(rr).astype(int), np.round(cc).astype(int)
+
+    def read(self, thermal_map: np.ndarray) -> np.ndarray:
+        """Noisy sensor readings, shape (rows, cols)."""
+        rr, cc = self.positions(thermal_map.shape)
+        samples = thermal_map[np.ix_(rr, cc)]
+        if self.noise_sigma > 0:
+            samples = samples + self._rng.normal(0.0, self.noise_sigma, samples.shape)
+        return samples
+
+    def interpolate(
+        self, readings: np.ndarray, shape: Tuple[int, int]
+    ) -> np.ndarray:
+        """Bilinear full-map estimate from sensor readings."""
+        ny, nx = shape
+        rr, cc = self.positions(shape)
+        interp = RegularGridInterpolator(
+            (rr.astype(float), cc.astype(float)),
+            readings,
+            bounds_error=False,
+            fill_value=None,
+            method="linear",
+        )
+        yy, xx = np.mgrid[0:ny, 0:nx]
+        pts = np.stack([yy.ravel(), xx.ravel()], axis=1).astype(float)
+        return interp(pts).reshape(shape)
+
+    def estimate_map(self, thermal_map: np.ndarray) -> np.ndarray:
+        """Read sensors and reconstruct the full thermal map."""
+        return self.interpolate(self.read(thermal_map), thermal_map.shape)

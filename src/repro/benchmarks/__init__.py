@@ -1,0 +1,29 @@
+"""Benchmark substrate: GSRC format I/O, synthetic generation, Table 1 suite."""
+
+from .generator import BenchmarkSpec, generate_circuit
+from .gsrc import (
+    BenchmarkCircuit,
+    load_circuit,
+    parse_blocks,
+    parse_nets,
+    parse_pl,
+    parse_power,
+    save_circuit,
+)
+from .suite import TABLE1, benchmark_names, load, spec_for
+
+__all__ = [
+    "BenchmarkSpec",
+    "generate_circuit",
+    "BenchmarkCircuit",
+    "load_circuit",
+    "save_circuit",
+    "parse_blocks",
+    "parse_nets",
+    "parse_pl",
+    "parse_power",
+    "TABLE1",
+    "benchmark_names",
+    "load",
+    "spec_for",
+]

@@ -1,0 +1,282 @@
+"""Reader/writer for the GSRC block-packing benchmark format.
+
+The GSRC hard-/soft-block suites (n100, n200, n300) and the IBM-HB+ suite
+(ibm01...) are distributed as ``.blocks`` / ``.nets`` / ``.pl`` triples.
+We parse the subset of the format the floorplanner needs:
+
+* ``.blocks`` — ``<name> hardrectilinear 4 (x,y) ...`` for hard blocks and
+  ``<name> softrectangular <area> <minAspect> <maxAspect>`` for soft ones,
+  plus ``<name> terminal`` lines;
+* ``.nets`` — ``NetDegree : k`` headers followed by k pin names;
+* ``.pl`` — ``<terminal> <x> <y>`` positions (modules may appear too and
+  are ignored: we floorplan from scratch).
+
+A companion ``.power`` extension (one ``<name> <watts>`` pair per line)
+carries the nominal module powers the paper's Table 1 sums up; the GSRC
+originals have no power data, so our generator emits this sidecar file.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..layout.module import Module, ModuleKind
+from ..layout.net import Net, Terminal
+
+__all__ = ["BenchmarkCircuit", "parse_blocks", "parse_nets", "parse_pl", "parse_power",
+           "write_blocks", "write_nets", "write_pl", "write_power",
+           "load_circuit", "save_circuit"]
+
+
+@dataclass
+class BenchmarkCircuit:
+    """A parsed benchmark: modules, nets, terminals, and nominal power."""
+
+    name: str
+    modules: Dict[str, Module]
+    nets: List[Net]
+    terminals: Dict[str, Terminal]
+
+    @property
+    def num_hard(self) -> int:
+        return sum(1 for m in self.modules.values() if m.kind == ModuleKind.HARD)
+
+    @property
+    def num_soft(self) -> int:
+        return sum(1 for m in self.modules.values() if m.kind == ModuleKind.SOFT)
+
+    @property
+    def total_area(self) -> float:
+        return sum(m.area for m in self.modules.values())
+
+    @property
+    def total_power(self) -> float:
+        """Total nominal power in W at the 1.0 V reference."""
+        return sum(m.power for m in self.modules.values())
+
+    def scaled(self, factor: float) -> "BenchmarkCircuit":
+        """A copy with module footprints scaled by ``factor`` (Table 1)."""
+        return BenchmarkCircuit(
+            name=self.name,
+            modules={n: m.scaled(factor) for n, m in self.modules.items()},
+            nets=list(self.nets),
+            terminals=dict(self.terminals),
+        )
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+_COORD_RE = re.compile(r"\(\s*([-\d.eE+]+)\s*,\s*([-\d.eE+]+)\s*\)")
+
+
+def _strip_comments(text: str) -> List[str]:
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            lines.append(line)
+    return lines
+
+
+def parse_blocks(text: str) -> Tuple[Dict[str, Module], List[str]]:
+    """Parse a ``.blocks`` file → (modules, terminal names).
+
+    Hard rectilinear blocks must be rectangles (4 vertices); general
+    rectilinear outlines are not supported by block-packing floorplanners
+    and are rejected explicitly.
+    """
+    modules: Dict[str, Module] = {}
+    terminals: List[str] = []
+    for line in _strip_comments(text):
+        if ":" in line and not _COORD_RE.search(line):
+            continue  # header lines like "NumHardRectilinearBlocks : 100"
+        parts = line.split()
+        if len(parts) >= 2 and parts[1] == "terminal":
+            terminals.append(parts[0])
+            continue
+        if len(parts) >= 3 and parts[1] == "hardrectilinear":
+            coords = _COORD_RE.findall(line)
+            if len(coords) != 4:
+                raise ValueError(
+                    f"block {parts[0]!r}: only rectangular outlines supported "
+                    f"(got {len(coords)} vertices)"
+                )
+            xs = [float(c[0]) for c in coords]
+            ys = [float(c[1]) for c in coords]
+            w = max(xs) - min(xs)
+            h = max(ys) - min(ys)
+            modules[parts[0]] = Module(parts[0], w, h, kind=ModuleKind.HARD)
+            continue
+        if len(parts) >= 5 and parts[1] == "softrectangular":
+            area = float(parts[2])
+            min_ar = float(parts[3])
+            max_ar = float(parts[4])
+            side = math.sqrt(area)
+            modules[parts[0]] = Module(
+                parts[0], side, side, kind=ModuleKind.SOFT,
+                min_aspect=min_ar, max_aspect=max_ar,
+            )
+            continue
+    return modules, terminals
+
+
+def parse_nets(text: str) -> List[Net]:
+    """Parse a ``.nets`` file.  Pin names are classified into modules vs.
+    terminals later by :func:`load_circuit` (the format does not mark them)."""
+    lines = _strip_comments(text)
+    nets: List[Net] = []
+    i = 0
+    net_idx = 0
+    while i < len(lines):
+        line = lines[i]
+        m = re.match(r"NetDegree\s*:\s*(\d+)", line)
+        if not m:
+            i += 1
+            continue
+        degree = int(m.group(1))
+        pins: List[str] = []
+        i += 1
+        while i < len(lines) and len(pins) < degree:
+            pin = lines[i].split()[0]
+            pins.append(pin)
+            i += 1
+        if len(pins) >= 2:
+            nets.append(Net(f"net{net_idx}", tuple(pins)))
+        net_idx += 1
+    return nets
+
+
+def parse_pl(text: str) -> Dict[str, Tuple[float, float]]:
+    """Parse a ``.pl`` file → name → (x, y)."""
+    out: Dict[str, Tuple[float, float]] = {}
+    for line in _strip_comments(text):
+        parts = line.split()
+        if len(parts) >= 3:
+            try:
+                out[parts[0]] = (float(parts[1]), float(parts[2]))
+            except ValueError:
+                continue
+    return out
+
+
+def parse_power(text: str) -> Dict[str, float]:
+    """Parse a ``.power`` sidecar file → name → watts."""
+    out: Dict[str, float] = {}
+    for line in _strip_comments(text):
+        parts = line.split()
+        if len(parts) >= 2:
+            out[parts[0]] = float(parts[1])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+def write_blocks(modules: Dict[str, Module], terminal_names: Sequence[str]) -> str:
+    hard = [m for m in modules.values() if m.kind == ModuleKind.HARD]
+    soft = [m for m in modules.values() if m.kind == ModuleKind.SOFT]
+    lines = [
+        "UCSC blocks 1.0",
+        f"NumSoftRectangularBlocks : {len(soft)}",
+        f"NumHardRectilinearBlocks : {len(hard)}",
+        f"NumTerminals : {len(terminal_names)}",
+        "",
+    ]
+    for m in modules.values():
+        if m.kind == ModuleKind.HARD:
+            lines.append(
+                f"{m.name} hardrectilinear 4 (0, 0) (0, {m.height:g}) "
+                f"({m.width:g}, {m.height:g}) ({m.width:g}, 0)"
+            )
+        else:
+            lines.append(
+                f"{m.name} softrectangular {m.area:g} {m.min_aspect:g} {m.max_aspect:g}"
+            )
+    lines.append("")
+    for t in terminal_names:
+        lines.append(f"{t} terminal")
+    return "\n".join(lines) + "\n"
+
+
+def write_nets(nets: Sequence[Net]) -> str:
+    num_pins = sum(n.degree for n in nets)
+    lines = [
+        "UCLA nets 1.0",
+        f"NumNets : {len(nets)}",
+        f"NumPins : {num_pins}",
+        "",
+    ]
+    for net in nets:
+        lines.append(f"NetDegree : {net.degree}")
+        for pin in net.modules + net.terminals:
+            lines.append(f"{pin} B")
+    return "\n".join(lines) + "\n"
+
+
+def write_pl(terminals: Dict[str, Terminal]) -> str:
+    lines = ["UCLA pl 1.0", ""]
+    for t in terminals.values():
+        lines.append(f"{t.name} {t.x:g} {t.y:g}")
+    return "\n".join(lines) + "\n"
+
+
+def write_power(modules: Dict[str, Module]) -> str:
+    lines = ["# nominal module power [W] at 1.0 V"]
+    for m in modules.values():
+        lines.append(f"{m.name} {m.power:.9g}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+
+def load_circuit(basepath: str | Path, name: str | None = None) -> BenchmarkCircuit:
+    """Load ``<base>.blocks``, ``<base>.nets``, ``<base>.pl`` and, when
+    present, ``<base>.power`` into a :class:`BenchmarkCircuit`."""
+    base = Path(basepath)
+    name = name or base.name
+    modules, terminal_names = parse_blocks(base.with_suffix(".blocks").read_text())
+    positions = parse_pl(base.with_suffix(".pl").read_text())
+    terminals = {
+        t: Terminal(t, *positions.get(t, (0.0, 0.0))) for t in terminal_names
+    }
+    raw_nets = parse_nets(base.with_suffix(".nets").read_text())
+    nets: List[Net] = []
+    for net in raw_nets:
+        mods = tuple(p for p in net.modules if p in modules)
+        terms = tuple(p for p in net.modules if p in terminals)
+        if len(mods) + len(terms) >= 2:
+            nets.append(Net(net.name, mods, terms))
+    power_file = base.with_suffix(".power")
+    if power_file.exists():
+        powers = parse_power(power_file.read_text())
+        modules = {
+            n: Module(
+                m.name, m.width, m.height, kind=m.kind,
+                power=powers.get(n, 0.0),
+                intrinsic_delay=m.intrinsic_delay,
+                min_aspect=m.min_aspect, max_aspect=m.max_aspect,
+            )
+            for n, m in modules.items()
+        }
+    return BenchmarkCircuit(name=name, modules=modules, nets=nets, terminals=terminals)
+
+
+def save_circuit(circuit: BenchmarkCircuit, basepath: str | Path) -> None:
+    """Write the four benchmark files for ``circuit``."""
+    base = Path(basepath)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    base.with_suffix(".blocks").write_text(
+        write_blocks(circuit.modules, list(circuit.terminals))
+    )
+    base.with_suffix(".nets").write_text(write_nets(circuit.nets))
+    base.with_suffix(".pl").write_text(write_pl(circuit.terminals))
+    base.with_suffix(".power").write_text(write_power(circuit.modules))

@@ -1,0 +1,137 @@
+"""Command-line interface: run flows and studies from the shell.
+
+Examples::
+
+    python -m repro.cli flow n100 --mode tsc_aware --iterations 2000
+    python -m repro.cli sweep n100 n300 --runs 3
+    python -m repro.cli explore --grid 32
+    python -m repro.cli benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .benchmarks import benchmark_names, load
+from .core.config import FlowConfig
+from .core.flow import run_flow
+from .core.results import aggregate_metrics, format_table
+from .floorplan.annealer import AnnealConfig
+from .floorplan.objectives import FloorplanMode
+
+__all__ = ["main"]
+
+
+def _print_metrics(m) -> None:
+    print(f"  feasible={m.feasible}  runtime={m.runtime_s:.1f}s")
+    print(f"  S1={m.spatial_entropy_s1:.3f}  r1={m.correlation_r1:.3f}  "
+          f"S2={m.spatial_entropy_s2:.3f}  r2={m.correlation_r2:.3f}")
+    print(f"  power={m.power_w:.2f}W  delay={m.critical_delay_ns:.3f}ns  "
+          f"wl={m.wirelength_m:.2f}m  peak={m.peak_temp_k:.1f}K")
+    print(f"  signalTSVs={m.signal_tsvs}  dummyTSVs={m.dummy_tsvs}  "
+          f"volumes={m.voltage_volumes}")
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    circuit, stack = load(args.benchmark)
+    mode = (FloorplanMode.TSC_AWARE if args.mode == "tsc_aware"
+            else FloorplanMode.POWER_AWARE)
+    config = FlowConfig(
+        mode=mode,
+        anneal=AnnealConfig(iterations=args.iterations, seed=args.seed),
+        verify_nx=args.grid, verify_ny=args.grid,
+    )
+    outcome = run_flow(circuit, stack, config)
+    print(f"[{args.benchmark} / {mode}]")
+    _print_metrics(outcome.metrics)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    metrics = [
+        "correlation_r1", "spatial_entropy_s1", "correlation_r2",
+        "power_w", "critical_delay_ns", "wirelength_m", "peak_temp_k",
+        "voltage_volumes", "dummy_tsvs",
+    ]
+    for mode in (FloorplanMode.POWER_AWARE, FloorplanMode.TSC_AWARE):
+        rows = {}
+        for bench in args.benchmarks:
+            circuit, stack = load(bench)
+            runs = []
+            for seed in range(args.runs):
+                config = FlowConfig(
+                    mode=mode,
+                    anneal=AnnealConfig(iterations=args.iterations, seed=seed),
+                    verify_nx=args.grid, verify_ny=args.grid,
+                )
+                runs.append(run_flow(circuit, stack, config).metrics)
+            rows[bench] = aggregate_metrics(runs)
+        print("\n" + format_table(rows, metrics, title=f"setup: {mode}"))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .exploration import run_exploration, summarize_findings
+
+    cells = run_exploration(grid_n=args.grid, seed=args.seed)
+    for c in cells:
+        print(f"{c.power_pattern:<20}{c.tsv_pattern:<20}"
+              f"r1={c.r_bottom:+.3f}  r2={c.r_top:+.3f}  peak={c.peak_k:.1f}K")
+    print("\nfindings:")
+    for k, v in summarize_findings(cells).items():
+        print(f"  {k:<34} {v:.3f}")
+    return 0
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        circ, stack = load(name)
+        print(f"{name:<8} modules={len(circ.modules):>5} "
+              f"nets={len(circ.nets):>6} terminals={len(circ.terminals):>4} "
+              f"outline={stack.outline.area / 1e6:>7.2f}mm2 "
+              f"power={circ.total_power:>6.2f}W")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TSC-aware 3D-IC floorplanning (DAC'17 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_flow = sub.add_parser("flow", help="run one floorplanning flow")
+    p_flow.add_argument("benchmark", choices=benchmark_names())
+    p_flow.add_argument("--mode", choices=["power_aware", "tsc_aware"],
+                        default="power_aware")
+    p_flow.add_argument("--iterations", type=int, default=1500)
+    p_flow.add_argument("--seed", type=int, default=0)
+    p_flow.add_argument("--grid", type=int, default=32)
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_sweep = sub.add_parser("sweep", help="PA vs TSC over several benchmarks")
+    p_sweep.add_argument("benchmarks", nargs="+", choices=benchmark_names())
+    p_sweep.add_argument("--runs", type=int, default=2)
+    p_sweep.add_argument("--iterations", type=int, default=1500)
+    p_sweep.add_argument("--grid", type=int, default=32)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_exp = sub.add_parser("explore", help="Sec. 3 power x TSV study")
+    p_exp.add_argument("--grid", type=int, default=24)
+    p_exp.add_argument("--seed", type=int, default=2)
+    p_exp.set_defaults(func=_cmd_explore)
+
+    p_b = sub.add_parser("benchmarks", help="list the Table 1 suite")
+    p_b.set_defaults(func=_cmd_benchmarks)
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""The paper's primary contribution: the TSC-aware floorplanning flow."""
+
+from .config import FlowConfig, env_int
+from .flow import FlowOutcome, run_flow, verify_correlations
+from .results import FlowMetrics, aggregate_metrics, format_table
+
+__all__ = [
+    "FlowConfig",
+    "env_int",
+    "FlowOutcome",
+    "run_flow",
+    "verify_correlations",
+    "FlowMetrics",
+    "aggregate_metrics",
+    "format_table",
+]

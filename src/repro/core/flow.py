@@ -1,0 +1,144 @@
+"""The end-to-end methodology flow (Fig. 3).
+
+One :func:`run_flow` call executes the paper's pipeline for a benchmark:
+
+1. multi-objective simulated annealing with in-loop leakage evaluation
+   (fast thermal analysis, Pearson correlation, spatial entropy) and
+   continuous voltage assignment;
+2. a final, full-size voltage assignment on the chosen layout;
+3. detailed thermal verification of the final correlation ("we found this
+   fast analysis to be inferior to the detailed analysis of HotSpot ...
+   thus, we also verify the final correlation after floorplanning");
+4. in TSC mode, the post-processing stage: Gaussian activity sampling and
+   correlation-guided insertion of dummy thermal TSVs.
+
+The returned :class:`~repro.core.results.FlowMetrics` mirrors a Table 2
+column.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..benchmarks.gsrc import BenchmarkCircuit
+from ..floorplan.annealer import AnnealResult, anneal
+from ..floorplan.objectives import FloorplanMode
+from ..layout.die import StackConfig
+from ..layout.floorplan import Floorplan3D
+from ..layout.grid import GridSpec
+from ..leakage.entropy import spatial_entropy
+from ..leakage.pearson import die_correlation
+from ..mitigation.dummy_tsv import MitigationReport, insert_dummy_tsvs
+from ..power.assignment import AssignmentObjective, assign_voltages
+from ..thermal.stack import build_stack
+from ..thermal.steady_state import SteadyStateSolver
+from ..timing.paths import TimingGraph
+from .config import FlowConfig
+from .results import FlowMetrics
+
+__all__ = ["FlowOutcome", "run_flow", "verify_correlations"]
+
+
+@dataclass
+class FlowOutcome:
+    """Everything a flow run produces."""
+
+    metrics: FlowMetrics
+    floorplan: Floorplan3D
+    anneal_result: AnnealResult
+    mitigation: Optional[MitigationReport]
+    #: detailed per-die power/thermal maps at verification resolution
+    power_maps: List[np.ndarray]
+    thermal_maps: List[np.ndarray]
+
+
+def verify_correlations(
+    floorplan: Floorplan3D, grid: GridSpec
+) -> Tuple[List[float], List[np.ndarray], List[np.ndarray], float]:
+    """Detailed verification: per-die correlations, maps, and peak temp."""
+    density = floorplan.tsv_density((0, 1), grid)
+    solver = SteadyStateSolver(build_stack(floorplan.stack, grid, tsv_density=density))
+    power_maps = [
+        floorplan.power_map(d, grid) for d in range(floorplan.stack.num_dies)
+    ]
+    result = solver.solve(power_maps)
+    corr = [die_correlation(p, t) for p, t in zip(power_maps, result.die_maps)]
+    return corr, power_maps, result.die_maps, result.peak
+
+
+def run_flow(
+    circuit: BenchmarkCircuit,
+    stack: StackConfig,
+    config: FlowConfig | None = None,
+) -> FlowOutcome:
+    """Floorplan ``circuit`` per the configured setup and verify leakage."""
+    config = config or FlowConfig()
+    t_start = time.perf_counter()
+
+    result = anneal(
+        circuit.modules,
+        stack,
+        circuit.nets,
+        circuit.terminals,
+        mode=config.mode,
+        config=config.anneal,
+    )
+    floorplan = result.floorplan
+
+    # final full-size voltage assignment on the chosen layout
+    timing = TimingGraph(
+        list(floorplan.placements), circuit.nets, tsv_length_um=50.0
+    )
+    inflation = timing.max_delay_inflation(floorplan)
+    objective = (
+        AssignmentObjective.TSC_AWARE
+        if config.mode == FloorplanMode.TSC_AWARE
+        else AssignmentObjective.POWER_AWARE
+    )
+    assignment = assign_voltages(
+        floorplan, inflation, objective=objective,
+        max_volume_size=config.final_volume_size,
+    )
+    floorplan = floorplan.with_voltages(assignment.voltages)
+    timing_report = timing.evaluate(floorplan)
+
+    mitigation: Optional[MitigationReport] = None
+    if config.run_mitigation:
+        mitigation = insert_dummy_tsvs(floorplan, config.mitigation)
+        floorplan = mitigation.floorplan
+
+    grid = GridSpec(stack.outline, config.verify_nx, config.verify_ny)
+    correlations, power_maps, thermal_maps, peak = verify_correlations(floorplan, grid)
+    entropies = [spatial_entropy(p) for p in power_maps]
+
+    wirelength_um, _ = floorplan.wirelength()
+    runtime = time.perf_counter() - t_start
+    metrics = FlowMetrics(
+        benchmark=circuit.name,
+        mode=config.mode,
+        spatial_entropy_s1=float(entropies[0]),
+        correlation_r1=float(correlations[0]),
+        spatial_entropy_s2=float(entropies[1]) if len(entropies) > 1 else 0.0,
+        correlation_r2=float(correlations[1]) if len(correlations) > 1 else 0.0,
+        power_w=float(floorplan.total_power()),
+        critical_delay_ns=float(timing_report.critical_delay_ns),
+        wirelength_m=float(wirelength_um / 1e6),
+        peak_temp_k=float(peak),
+        signal_tsvs=len(floorplan.signal_tsvs),
+        dummy_tsvs=len(floorplan.thermal_tsvs),
+        voltage_volumes=assignment.num_volumes,
+        runtime_s=runtime,
+        feasible=result.feasible,
+    )
+    return FlowOutcome(
+        metrics=metrics,
+        floorplan=floorplan,
+        anneal_result=result,
+        mitigation=mitigation,
+        power_maps=power_maps,
+        thermal_maps=thermal_maps,
+    )

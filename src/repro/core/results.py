@@ -1,0 +1,91 @@
+"""Result records mirroring the paper's Table 2 rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["FlowMetrics", "aggregate_metrics", "format_table"]
+
+
+@dataclass
+class FlowMetrics:
+    """All quantities Table 2 reports for one floorplanning run."""
+
+    benchmark: str
+    mode: str
+    spatial_entropy_s1: float
+    correlation_r1: float
+    spatial_entropy_s2: float
+    correlation_r2: float
+    power_w: float
+    critical_delay_ns: float
+    wirelength_m: float
+    peak_temp_k: float
+    signal_tsvs: int
+    dummy_tsvs: int
+    voltage_volumes: int
+    runtime_s: float
+    feasible: bool = True
+
+    _NUMERIC = (
+        "spatial_entropy_s1",
+        "correlation_r1",
+        "spatial_entropy_s2",
+        "correlation_r2",
+        "power_w",
+        "critical_delay_ns",
+        "wirelength_m",
+        "peak_temp_k",
+        "signal_tsvs",
+        "dummy_tsvs",
+        "voltage_volumes",
+        "runtime_s",
+    )
+
+    def to_dict(self) -> Dict[str, float | str | bool]:
+        out: Dict[str, float | str | bool] = {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "feasible": self.feasible,
+        }
+        for name in self._NUMERIC:
+            out[name] = getattr(self, name)
+        return out
+
+
+def aggregate_metrics(runs: Sequence[FlowMetrics]) -> Dict[str, float]:
+    """Mean of every numeric metric over a set of runs (Table 2 averages)."""
+    if not runs:
+        raise ValueError("cannot aggregate zero runs")
+    out: Dict[str, float] = {}
+    for name in FlowMetrics._NUMERIC:
+        out[name] = float(np.mean([getattr(r, name) for r in runs]))
+    return out
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str],
+    title: str = "",
+) -> str:
+    """Fixed-width text table: one column per benchmark, one line per metric.
+
+    ``rows`` maps benchmark name -> {metric -> value}.  Mirrors Table 2's
+    layout so bench output can be eyeballed against the paper.
+    """
+    names = list(rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'metric':<24}" + "".join(f"{n:>12}" for n in names) + f"{'Avg':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for metric in metrics:
+        vals = [rows[n].get(metric, float('nan')) for n in names]
+        avg = float(np.nanmean(vals)) if vals else float("nan")
+        cells = "".join(f"{v:>12.3f}" for v in vals)
+        lines.append(f"{metric:<24}{cells}{avg:>12.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Exploratory power x TSV studies (Sec. 3, Fig. 2)."""
+
+from .patterns import POWER_PATTERNS, TSV_PATTERNS, pattern_names, power_pattern, tsv_pattern
+from .study import ExplorationCell, run_exploration, summarize_findings
+
+__all__ = [
+    "POWER_PATTERNS",
+    "TSV_PATTERNS",
+    "pattern_names",
+    "power_pattern",
+    "tsv_pattern",
+    "ExplorationCell",
+    "run_exploration",
+    "summarize_findings",
+]

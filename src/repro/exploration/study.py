@@ -1,0 +1,106 @@
+"""The Sec. 3 exploratory study: 30 power x TSV combinations.
+
+Runs the detailed thermal analysis for every combination of the five
+power distributions and six TSV distributions, and reports the per-die
+power-temperature correlation of each.  The paper's key initial findings,
+which :func:`summarize_findings` checks programmatically:
+
+1. large power gradients correlate most; globally uniform least;
+2. many regularly arranged TSVs raise the correlation — the fewer and
+   the less regular the TSVs, the lower the correlation;
+3. locally uniform power with irregular TSVs or islands decorrelates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..layout.die import StackConfig
+from ..layout.grid import GridSpec
+from ..leakage.pearson import die_correlation
+from ..thermal.stack import build_stack
+from ..thermal.steady_state import SteadyStateSolver
+from .patterns import pattern_names, power_pattern, tsv_pattern
+
+__all__ = ["ExplorationCell", "run_exploration", "summarize_findings"]
+
+
+@dataclass(frozen=True)
+class ExplorationCell:
+    """One of the 30 combinations."""
+
+    power_pattern: str
+    tsv_pattern: str
+    r_bottom: float
+    r_top: float
+    peak_k: float
+
+    @property
+    def r_mean(self) -> float:
+        return (abs(self.r_bottom) + abs(self.r_top)) / 2.0
+
+
+def run_exploration(
+    die_side_um: float = 4000.0,
+    grid_n: int = 32,
+    total_power_w: float = 8.0,
+    seed: int = 0,
+) -> List[ExplorationCell]:
+    """Evaluate all 30 power x TSV combinations on a two-die stack."""
+    stack_cfg = StackConfig.square(die_side_um)
+    grid = GridSpec(stack_cfg.outline, grid_n, grid_n)
+    power_names, tsv_names = pattern_names()
+
+    cells: List[ExplorationCell] = []
+    for tsv_name in tsv_names:
+        _, density = tsv_pattern(tsv_name, stack_cfg, grid, seed=seed)
+        solver = SteadyStateSolver(build_stack(stack_cfg, grid, tsv_density=density))
+        for power_name in power_names:
+            pm0 = power_pattern(power_name, grid, total_power_w / 2.0, seed=seed)
+            pm1 = power_pattern(power_name, grid, total_power_w / 2.0, seed=seed + 1)
+            result = solver.solve([pm0, pm1])
+            cells.append(
+                ExplorationCell(
+                    power_pattern=power_name,
+                    tsv_pattern=tsv_name,
+                    r_bottom=die_correlation(pm0, result.die_maps[0]),
+                    r_top=die_correlation(pm1, result.die_maps[1]),
+                    peak_k=result.peak,
+                )
+            )
+    return cells
+
+
+def summarize_findings(cells: List[ExplorationCell]) -> Dict[str, float]:
+    """Condense the grid into the paper's Sec. 3 findings.
+
+    Returns the mean |r| (both dies) for the distribution groups the
+    paper contrasts, so callers (tests, benches) can assert the ordering:
+    ``uniform_power < locally_uniform_with_islands`` and
+    ``large_gradients_regular`` highest, etc.
+    """
+    def mean_r(power: List[str] | None = None, tsv: List[str] | None = None) -> float:
+        sel = [
+            c.r_mean
+            for c in cells
+            if (power is None or c.power_pattern in power)
+            and (tsv is None or c.tsv_pattern in tsv)
+        ]
+        return float(np.mean(sel)) if sel else float("nan")
+
+    return {
+        "uniform_power": mean_r(power=["globally_uniform"]),
+        "large_gradients": mean_r(power=["large_gradients"]),
+        "large_gradients_regular_tsvs": mean_r(
+            power=["large_gradients"], tsv=["irregular_regular", "islands_regular", "max_density"]
+        ),
+        "locally_uniform_islands": mean_r(
+            power=["locally_uniform"], tsv=["islands", "irregular"]
+        ),
+        "no_tsvs": mean_r(tsv=["none"]),
+        "regular_tsvs": mean_r(tsv=["irregular_regular", "islands_regular", "max_density"]),
+        "irregular_or_islands": mean_r(tsv=["irregular", "islands"]),
+    }

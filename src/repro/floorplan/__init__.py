@@ -1,0 +1,28 @@
+"""Floorplanning engine: sequence pairs, SA annealer, multi-objective cost."""
+
+from .annealer import AnnealConfig, AnnealResult, anneal
+from .moves import MOVE_NAMES, apply_random_move
+from .objectives import (
+    CompiledNetlist,
+    CostBreakdown,
+    CostEvaluator,
+    FloorplanMode,
+    ObjectiveWeights,
+)
+from .seqpair import DieSequencePair, LayoutState, pack_die
+
+__all__ = [
+    "AnnealConfig",
+    "AnnealResult",
+    "anneal",
+    "MOVE_NAMES",
+    "apply_random_move",
+    "CompiledNetlist",
+    "CostBreakdown",
+    "CostEvaluator",
+    "FloorplanMode",
+    "ObjectiveWeights",
+    "DieSequencePair",
+    "LayoutState",
+    "pack_die",
+]

@@ -1,0 +1,214 @@
+"""Simulated-annealing floorplanning engine (Corblivar's role, Fig. 3).
+
+The loop is the classical adaptive SA over the layout representation:
+calibrate cost scales from random perturbations, pick an initial
+temperature from the observed uphill deltas, then cool geometrically while
+accepting worse solutions with Metropolis probability.  The best
+*feasible* (fixed-outline-respecting) solution is memorized; the paper's
+flow additionally memorizes low-leakage floorplans, which we track as
+``best_leakage`` for the TSC setup.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..layout.die import StackConfig
+from ..layout.floorplan import Floorplan3D
+from ..layout.module import Module
+from ..layout.net import Net, Terminal
+from ..timing.delay_model import ensure_intrinsic_delays
+from .moves import apply_random_move
+from .objectives import CostBreakdown, CostEvaluator, FloorplanMode, ObjectiveWeights
+from .seqpair import LayoutState
+
+__all__ = ["AnnealConfig", "AnnealResult", "anneal"]
+
+
+@dataclass(frozen=True)
+class AnnealConfig:
+    """Annealing schedule and evaluation cadence.
+
+    Defaults are sized for the Python engine; the paper's C++ Corblivar
+    runs far more iterations.  All experiment harnesses expose
+    ``REPRO_SA_ITERS`` to scale ``iterations`` up or down.
+    """
+
+    iterations: int = 3000
+    moves_per_temperature: int = 60
+    cooling: float = 0.93
+    initial_acceptance: float = 0.5
+    seed: int = 0
+    grid_nx: int = 32
+    grid_ny: int = 32
+    timing_every: int = 10
+    thermal_every: int = 5
+    assignment_every: int = 50
+    inloop_volume_size: int = 16
+    calibration_samples: int = 24
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not (0.0 < self.cooling < 1.0):
+            raise ValueError("cooling factor must be in (0, 1)")
+        if not (0.0 < self.initial_acceptance < 1.0):
+            raise ValueError("initial acceptance must be in (0, 1)")
+
+
+@dataclass
+class AnnealResult:
+    """Outcome of one annealing run."""
+
+    state: LayoutState
+    floorplan: Floorplan3D
+    cost: float
+    breakdown: CostBreakdown
+    feasible: bool
+    #: lowest-leakage feasible snapshot (TSC mode), if any
+    best_leakage: Optional[LayoutState]
+    iterations: int
+    accepted: int
+    runtime_s: float
+    history: List[float] = field(default_factory=list)
+
+
+def _initial_temperature(deltas: Sequence[float], accept: float) -> float:
+    """Temperature making the mean uphill delta accepted with prob ``accept``."""
+    ups = [d for d in deltas if d > 0]
+    if not ups:
+        return 1.0
+    return float(-np.mean(ups) / math.log(accept))
+
+
+def anneal(
+    modules: Mapping[str, Module],
+    stack: StackConfig,
+    nets: Sequence[Net] = (),
+    terminals: Mapping[str, Terminal] | None = None,
+    mode: str = FloorplanMode.POWER_AWARE,
+    config: AnnealConfig | None = None,
+    weights: ObjectiveWeights | None = None,
+    evaluator: CostEvaluator | None = None,
+) -> AnnealResult:
+    """Floorplan ``modules`` onto ``stack`` in the given mode.
+
+    Returns the best feasible solution found (falling back to the
+    least-violating one when the outline was never met — callers should
+    check ``result.feasible``).
+    """
+    config = config or AnnealConfig()
+    terminals = dict(terminals or {})
+    modules = ensure_intrinsic_delays(modules)
+    rng = np.random.default_rng(config.seed)
+    t_start = time.perf_counter()
+
+    if evaluator is None:
+        evaluator = CostEvaluator(
+            stack,
+            nets,
+            terminals,
+            mode=mode,
+            weights=weights,
+            grid_nx=config.grid_nx,
+            grid_ny=config.grid_ny,
+            timing_every=config.timing_every,
+            thermal_every=config.thermal_every,
+            assignment_every=config.assignment_every,
+            inloop_volume_size=config.inloop_volume_size,
+        )
+
+    state = LayoutState.initial(modules, stack, rng, power_biased=True)
+    evaluator.calibrate_scales(state, rng, samples=config.calibration_samples)
+
+    current_bd = evaluator.evaluate(state, force_full=True)
+    current_cost = evaluator.total_cost(current_bd)
+
+    # probe deltas for the starting temperature
+    probe_deltas: List[float] = []
+    probe = state.copy()
+    for _ in range(min(20, config.calibration_samples)):
+        cand = probe.copy()
+        apply_random_move(cand, rng)
+        bd = evaluator.evaluate(cand)
+        probe_deltas.append(evaluator.total_cost(bd) - current_cost)
+    temperature = _initial_temperature(probe_deltas, config.initial_acceptance)
+
+    best_state = state.copy()
+    best_cost = current_cost
+    best_bd = current_bd
+    best_feasible = current_bd.outline <= 1e-9
+    best_violation = current_bd.outline
+
+    best_leak_state: Optional[LayoutState] = None
+    best_leak_score = math.inf
+
+    accepted = 0
+    history: List[float] = []
+    moves_at_t = 0
+    push_at = int(config.iterations * 0.8)
+    for it in range(config.iterations):
+        if it == push_at:
+            # compaction phase: boost the fixed-outline pressure so the
+            # final solution packs inside the outline
+            from dataclasses import replace as _replace
+
+            evaluator.weights = _replace(
+                evaluator.weights, outline=evaluator.weights.outline * 6.0
+            )
+            current_cost = evaluator.total_cost(current_bd)
+            best_cost = evaluator.total_cost(best_bd)
+        candidate = state.copy()
+        apply_random_move(candidate, rng)
+        bd = evaluator.evaluate(candidate)
+        cost = evaluator.total_cost(bd)
+        delta = cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            state = candidate
+            current_cost = cost
+            current_bd = bd
+            accepted += 1
+            feasible = bd.outline <= 1e-9
+            improved = (
+                (feasible and not best_feasible)
+                or (feasible == best_feasible and cost < best_cost)
+                or (not feasible and not best_feasible and bd.outline < best_violation)
+            )
+            if improved:
+                best_state = state.copy()
+                best_cost = cost
+                best_bd = bd
+                best_feasible = feasible
+                best_violation = bd.outline
+            if feasible and (bd.correlation + bd.entropy) > 0:
+                leak = bd.correlation + 0.1 * bd.entropy
+                if leak < best_leak_score:
+                    best_leak_score = leak
+                    best_leak_state = state.copy()
+        history.append(current_cost)
+        moves_at_t += 1
+        if moves_at_t >= config.moves_per_temperature:
+            temperature *= config.cooling
+            moves_at_t = 0
+
+    final_bd = evaluator.evaluate(best_state, force_full=True)
+    final_cost = evaluator.total_cost(final_bd)
+    floorplan = best_state.realize(nets, terminals)
+    runtime = time.perf_counter() - t_start
+    return AnnealResult(
+        state=best_state,
+        floorplan=floorplan,
+        cost=final_cost,
+        breakdown=final_bd,
+        feasible=final_bd.outline <= 1e-9,
+        best_leakage=best_leak_state,
+        iterations=config.iterations,
+        accepted=accepted,
+        runtime_s=runtime,
+        history=history,
+    )

@@ -1,0 +1,413 @@
+"""Multi-objective cost evaluation for the annealing loop.
+
+Reproduces the paper's two setups (Sec. 7):
+
+* **Power-aware (PA)**: optimize packing density, wirelength, critical
+  delay, peak temperature, and voltage assignment (min power, min number
+  of volumes) — "all criteria weighted equally".
+* **TSC-aware**: everything above, plus minimize the average power-thermal
+  correlation (Eq. 1) and the average spatial entropy (Eq. 3); the voltage
+  assignment switches to the gradient-flattening objective.
+
+Cost terms are normalized by scales sampled from random perturbations of
+the initial solution, then combined as a weighted sum — the standard
+multi-objective annealing recipe Corblivar uses.  Expensive terms
+(timing, thermal, leakage, voltage assignment) refresh on a configurable
+cadence; the cheap terms (outline fit, wirelength) are exact every
+iteration via a fully vectorized netlist evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..layout.die import StackConfig
+from ..layout.grid import GridSpec
+from ..layout.net import Net, Terminal
+from ..leakage.entropy import spatial_entropy
+from ..leakage.pearson import die_correlation
+from ..power.assignment import AssignmentObjective, VoltageAssignment, assign_voltages
+from ..thermal.fast import FastThermalModel
+from ..timing.paths import TimingGraph
+from .seqpair import LayoutState
+
+__all__ = [
+    "ObjectiveWeights",
+    "CostBreakdown",
+    "CompiledNetlist",
+    "CostEvaluator",
+    "FloorplanMode",
+]
+
+
+class FloorplanMode:
+    """The two experimental setups of Sec. 7."""
+
+    POWER_AWARE = "power_aware"
+    TSC_AWARE = "tsc_aware"
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Relative weights of the normalized cost terms.
+
+    The paper weights all classical criteria equally; the TSC setup adds
+    the two leakage terms, also at unit weight.  ``outline`` is the
+    fixed-outline feasibility pressure and intentionally dominates.
+    """
+
+    area: float = 1.0
+    wirelength: float = 1.0
+    delay: float = 1.0
+    temperature: float = 1.0
+    power: float = 1.0
+    volumes: float = 1.0
+    correlation: float = 0.0
+    entropy: float = 0.0
+    die_assignment: float = 0.5
+    outline: float = 8.0
+
+    @staticmethod
+    def for_mode(mode: str) -> "ObjectiveWeights":
+        if mode == FloorplanMode.POWER_AWARE:
+            return ObjectiveWeights()
+        if mode == FloorplanMode.TSC_AWARE:
+            return ObjectiveWeights(correlation=1.0, entropy=1.0)
+        raise ValueError(f"unknown floorplanning mode {mode!r}")
+
+
+@dataclass
+class CostBreakdown:
+    """Raw (unnormalized) cost terms of one layout evaluation."""
+
+    area: float = 0.0
+    wirelength: float = 0.0
+    delay: float = 0.0
+    temperature: float = 0.0
+    power: float = 0.0
+    volumes: float = 0.0
+    correlation: float = 0.0
+    entropy: float = 0.0
+    die_assignment: float = 0.0
+    outline: float = 0.0
+    #: auxiliary observations, not part of the cost
+    tsv_crossings: int = 0
+
+    _FIELDS = (
+        "area",
+        "wirelength",
+        "delay",
+        "temperature",
+        "power",
+        "volumes",
+        "correlation",
+        "entropy",
+        "die_assignment",
+        "outline",
+    )
+
+    def total(self, weights: ObjectiveWeights, scales: Mapping[str, float]) -> float:
+        out = 0.0
+        for name in self._FIELDS:
+            w = getattr(weights, name)
+            if w == 0.0:
+                continue
+            scale = scales.get(name, 1.0)
+            out += w * getattr(self, name) / (scale if scale > 0 else 1.0)
+        return out
+
+
+class CompiledNetlist:
+    """Netlist compiled to flat arrays for O(#pins) numpy wirelength.
+
+    Per net we record the module-pin index ranges and, for nets with
+    terminals, precomputed terminal bounding boxes.  HPWL and die-crossing
+    counts then come from ``np.maximum.reduceat`` over pin coordinates —
+    no Python-level net loop in the annealing hot path.
+    """
+
+    def __init__(
+        self,
+        module_names: Sequence[str],
+        nets: Sequence[Net],
+        terminals: Mapping[str, Terminal],
+    ) -> None:
+        self.module_index: Dict[str, int] = {n: i for i, n in enumerate(module_names)}
+        pin_idx: List[int] = []
+        ptr: List[int] = [0]
+        tminx: List[float] = []
+        tmaxx: List[float] = []
+        tminy: List[float] = []
+        tmaxy: List[float] = []
+        sink_counts: List[int] = []
+        kept_nets: List[Net] = []
+        for net in nets:
+            mods = [m for m in net.modules if m in self.module_index]
+            if not mods:
+                continue
+            kept_nets.append(net)
+            pin_idx.extend(self.module_index[m] for m in mods)
+            ptr.append(len(pin_idx))
+            txs = [terminals[t].x for t in net.terminals if t in terminals]
+            tys = [terminals[t].y for t in net.terminals if t in terminals]
+            tminx.append(min(txs) if txs else np.inf)
+            tmaxx.append(max(txs) if txs else -np.inf)
+            tminy.append(min(tys) if tys else np.inf)
+            tmaxy.append(max(tys) if tys else -np.inf)
+            sink_counts.append(max(1, len(mods) - 1 + len(txs)))
+        self.nets = kept_nets
+        self.pin_idx = np.asarray(pin_idx, dtype=np.int64)
+        self.ptr = np.asarray(ptr, dtype=np.int64)
+        self.term_min_x = np.asarray(tminx)
+        self.term_max_x = np.asarray(tmaxx)
+        self.term_min_y = np.asarray(tminy)
+        self.term_max_y = np.asarray(tmaxy)
+        self.sink_counts = np.asarray(sink_counts, dtype=np.int64)
+        self.num_modules = len(module_names)
+        self.module_names = list(module_names)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def wirelength(
+        self,
+        centers_x: np.ndarray,
+        centers_y: np.ndarray,
+        dies: np.ndarray,
+        tsv_length: float,
+    ) -> Tuple[float, int, np.ndarray, np.ndarray]:
+        """(total HPWL um, total crossings, per-net HPWL, per-net crossings)."""
+        if self.num_nets == 0:
+            return 0.0, 0, np.zeros(0), np.zeros(0, dtype=np.int64)
+        starts = self.ptr[:-1]
+        px = centers_x[self.pin_idx]
+        py = centers_y[self.pin_idx]
+        pd = dies[self.pin_idx]
+        max_x = np.maximum.reduceat(px, starts)
+        min_x = np.minimum.reduceat(px, starts)
+        max_y = np.maximum.reduceat(py, starts)
+        min_y = np.minimum.reduceat(py, starts)
+        max_d = np.maximum.reduceat(pd, starts)
+        min_d = np.minimum.reduceat(pd, starts)
+        hi_x = np.maximum(max_x, self.term_max_x)
+        lo_x = np.minimum(min_x, self.term_min_x)
+        hi_y = np.maximum(max_y, self.term_max_y)
+        lo_y = np.minimum(min_y, self.term_min_y)
+        crossings = (max_d - min_d).astype(np.int64)
+        hpwl = (hi_x - lo_x) + (hi_y - lo_y) + crossings * tsv_length
+        return float(hpwl.sum()), int(crossings.sum()), hpwl, crossings
+
+
+@dataclass
+class _ExpensiveCache:
+    """Last computed values of the slow cost terms."""
+
+    delay: float = 0.0
+    temperature: float = 0.0
+    power: float = 0.0
+    volumes: float = 0.0
+    correlation: float = 0.0
+    entropy: float = 0.0
+    assignment: Optional[VoltageAssignment] = None
+
+
+class CostEvaluator:
+    """Scores :class:`LayoutState` objects for the annealer."""
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        nets: Sequence[Net],
+        terminals: Mapping[str, Terminal],
+        mode: str = FloorplanMode.POWER_AWARE,
+        weights: ObjectiveWeights | None = None,
+        grid_nx: int = 32,
+        grid_ny: int = 32,
+        tsv_length_um: float = 50.0,
+        timing_every: int = 10,
+        thermal_every: int = 5,
+        assignment_every: int = 50,
+        inloop_volume_size: int = 16,
+        thermal_model: FastThermalModel | None = None,
+        auto_calibrate: bool = True,
+    ) -> None:
+        self.stack = stack
+        self.mode = mode
+        self.weights = weights or ObjectiveWeights.for_mode(mode)
+        self.grid = GridSpec(stack.outline, grid_nx, grid_ny)
+        if thermal_model is None and auto_calibrate:
+            # fit the power-blurring masks against the detailed solver for
+            # THIS outline and grid (Corblivar calibrates against HotSpot
+            # the same way); one-time cost of well under a second
+            from ..thermal.fast import calibrate as _calibrate
+            from ..thermal.stack import build_stack as _build_stack
+            from ..thermal.steady_state import SteadyStateSolver as _Solver
+
+            solver = _Solver(_build_stack(stack, self.grid))
+            thermal_model = _calibrate(solver, self.grid, num_dies=stack.num_dies)
+        self.tsv_length_um = tsv_length_um
+        self.timing_every = max(1, timing_every)
+        self.thermal_every = max(1, thermal_every)
+        self.assignment_every = max(1, assignment_every)
+        self.inloop_volume_size = inloop_volume_size
+        self.terminals = dict(terminals)
+        self.nets = tuple(nets)
+        self.thermal = thermal_model or FastThermalModel(num_dies=stack.num_dies)
+        self._netlist: Optional[CompiledNetlist] = None
+        self._timing: Optional[TimingGraph] = None
+        self._cache = _ExpensiveCache()
+        self._scales: Dict[str, float] = {}
+        self._iteration = 0
+
+    # -- plumbing ---------------------------------------------------------------
+    def _compiled(self, state: LayoutState) -> CompiledNetlist:
+        if self._netlist is None:
+            self._netlist = CompiledNetlist(list(state.modules), self.nets, self.terminals)
+        return self._netlist
+
+    def _timing_graph(self, state: LayoutState) -> TimingGraph:
+        if self._timing is None:
+            self._timing = TimingGraph(
+                list(state.modules), self.nets, tsv_length_um=self.tsv_length_um
+            )
+        return self._timing
+
+    def _geometry_arrays(
+        self, state: LayoutState, positions: Mapping[str, Tuple[float, float]]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        nl = self._compiled(state)
+        cx = np.empty(nl.num_modules)
+        cy = np.empty(nl.num_modules)
+        dd = np.empty(nl.num_modules, dtype=np.int64)
+        for name, idx in nl.module_index.items():
+            x, y = positions[name]
+            w, h = state.effective_size(name)
+            cx[idx] = x + w / 2.0
+            cy[idx] = y + h / 2.0
+            dd[idx] = state.die_of[name]
+        return cx, cy, dd
+
+    # -- term computation ---------------------------------------------------------
+    def _cheap_terms(
+        self, state: LayoutState, positions, extents
+    ) -> CostBreakdown:
+        bd = CostBreakdown()
+        outline = self.stack.outline
+        over = 0.0
+        fill = 0.0
+        for w, h in extents:
+            over += max(0.0, w / outline.w - 1.0) + max(0.0, h / outline.h - 1.0)
+            fill += (min(w, outline.w) / outline.w) * (min(h, outline.h) / outline.h)
+        bd.outline = over
+        bd.area = fill / max(1, len(extents))
+        cx, cy, dd = self._geometry_arrays(state, positions)
+        nl = self._compiled(state)
+        wl, crossings, _, _ = nl.wirelength(cx, cy, dd, self.tsv_length_um)
+        bd.wirelength = wl
+        bd.tsv_crossings = crossings
+        # thermal design rule: pull power toward the heatsink-adjacent die
+        total_p = sum(m.power for m in state.modules.values()) or 1.0
+        top = self.stack.num_dies - 1
+        top_p = sum(
+            m.power for n, m in state.modules.items() if state.die_of[n] == top
+        )
+        bd.die_assignment = 1.0 - top_p / total_p
+        return bd
+
+    def _refresh_expensive(self, state: LayoutState, refresh_assignment: bool,
+                           refresh_timing: bool, refresh_thermal: bool) -> None:
+        cache = self._cache
+        fp = state.realize(self.nets, self.terminals, place_tsvs=refresh_thermal)
+        if refresh_assignment:
+            timing = self._timing_graph(state)
+            inflation = timing.max_delay_inflation(fp)
+            objective = (
+                AssignmentObjective.TSC_AWARE
+                if self.mode == FloorplanMode.TSC_AWARE
+                else AssignmentObjective.POWER_AWARE
+            )
+            cache.assignment = assign_voltages(
+                fp, inflation, objective=objective,
+                max_volume_size=self.inloop_volume_size,
+            )
+        voltages = cache.assignment.voltages if cache.assignment else None
+        if voltages:
+            fp = fp.with_voltages(voltages)
+        if refresh_timing:
+            timing = self._timing_graph(state)
+            report = timing.evaluate(fp)
+            cache.delay = report.critical_delay_ns
+        if refresh_thermal:
+            power_maps = [fp.power_map(d, self.grid) for d in range(self.stack.num_dies)]
+            density = fp.tsv_density((0, 1), self.grid) if self.stack.num_dies > 1 else None
+            temp_maps = self.thermal.estimate(power_maps, tsv_density=density)
+            cache.temperature = float(max(t.max() for t in temp_maps))
+            if self.weights.correlation > 0.0:
+                rs = [
+                    abs(die_correlation(p, t)) for p, t in zip(power_maps, temp_maps)
+                ]
+                cache.correlation = float(np.mean(rs))
+            if self.weights.entropy > 0.0:
+                cache.entropy = float(
+                    np.mean([spatial_entropy(p) for p in power_maps])
+                )
+        cache.power = fp.total_power()
+        cache.volumes = (
+            float(cache.assignment.num_volumes) if cache.assignment else 0.0
+        )
+
+    # -- public API -----------------------------------------------------------------
+    def evaluate(self, state: LayoutState, force_full: bool = False) -> CostBreakdown:
+        """Score one state; slow terms refresh on their cadence."""
+        self._iteration += 1
+        it = self._iteration
+        refresh_timing = force_full or (it % self.timing_every == 0)
+        refresh_thermal = force_full or (it % self.thermal_every == 0)
+        refresh_assignment = force_full or (it % self.assignment_every == 0)
+        positions, extents = state.pack()
+        bd = self._cheap_terms(state, positions, extents)
+        if refresh_timing or refresh_thermal or refresh_assignment:
+            self._refresh_expensive(
+                state, refresh_assignment, refresh_timing, refresh_thermal
+            )
+        cache = self._cache
+        bd.delay = cache.delay
+        bd.temperature = cache.temperature
+        bd.power = cache.power
+        bd.volumes = cache.volumes
+        bd.correlation = cache.correlation
+        bd.entropy = cache.entropy
+        return bd
+
+    def calibrate_scales(
+        self, state: LayoutState, rng: np.random.Generator, samples: int = 24
+    ) -> Dict[str, float]:
+        """Sample random perturbations to set per-term normalization."""
+        from .moves import apply_random_move
+
+        acc: Dict[str, List[float]] = {name: [] for name in CostBreakdown._FIELDS}
+        probe = state.copy()
+        for _ in range(samples):
+            apply_random_move(probe, rng)
+            bd = self.evaluate(probe, force_full=True)
+            for name in CostBreakdown._FIELDS:
+                acc[name].append(abs(getattr(bd, name)))
+        self._scales = {
+            name: (float(np.mean(vals)) if np.mean(vals) > 0 else 1.0)
+            for name, vals in acc.items()
+        }
+        # outline violations are a *penalty*, normalized to O(1) directly
+        self._scales["outline"] = 1.0
+        self._iteration = 0
+        return dict(self._scales)
+
+    @property
+    def scales(self) -> Dict[str, float]:
+        return dict(self._scales)
+
+    def total_cost(self, bd: CostBreakdown) -> float:
+        return bd.total(self.weights, self._scales or {})

@@ -1,0 +1,41 @@
+"""Layout substrate: geometry, modules, nets, dies, TSVs, grids, floorplans."""
+
+from .die import Die, StackConfig
+from .floorplan import Floorplan3D
+from .geometry import Point, Rect, bounding_box, rects_overlap, total_overlap_area
+from .grid import GridSpec, rasterize_power, rasterize_value_map
+from .module import Module, ModuleKind, Placement
+from .net import Net, Terminal, net_hpwl_3d, total_hpwl
+from .serialize import floorplan_from_dict, floorplan_to_dict, load_floorplan, save_floorplan
+from .tsv import TSV, TSVIsland, TSVKind, place_island, place_regular_grid, tsv_density_map
+
+__all__ = [
+    "Die",
+    "StackConfig",
+    "Floorplan3D",
+    "Point",
+    "Rect",
+    "bounding_box",
+    "rects_overlap",
+    "total_overlap_area",
+    "GridSpec",
+    "rasterize_power",
+    "rasterize_value_map",
+    "Module",
+    "ModuleKind",
+    "Placement",
+    "Net",
+    "Terminal",
+    "floorplan_from_dict",
+    "floorplan_to_dict",
+    "load_floorplan",
+    "save_floorplan",
+    "net_hpwl_3d",
+    "total_hpwl",
+    "TSV",
+    "TSVIsland",
+    "TSVKind",
+    "place_island",
+    "place_regular_grid",
+    "tsv_density_map",
+]

@@ -1,0 +1,206 @@
+"""The Floorplan3D container: placements, TSVs, and derived maps.
+
+A :class:`Floorplan3D` is the central exchange object between the
+floorplanning engine, the thermal solvers, the leakage metrics, the
+voltage-assignment stage, and the attack/mitigation layers.  It owns
+
+* the stack configuration (outline, die count),
+* one :class:`~repro.layout.module.Placement` per module,
+* the signal TSVs implied by inter-die nets (placed near net bounding
+  boxes) plus any dummy thermal TSVs inserted by post-processing,
+* convenience accessors for per-die power maps and TSV density maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .die import StackConfig
+from .geometry import Rect, bounding_box, total_overlap_area
+from .grid import GridSpec, rasterize_power
+from .module import Module, Placement
+from .net import Net, Terminal, total_hpwl
+from .tsv import TSV, TSVKind, tsv_density_map
+
+__all__ = ["Floorplan3D"]
+
+
+@dataclass
+class Floorplan3D:
+    """A complete (not necessarily legal) 3D floorplan.
+
+    Legality — all modules inside the fixed outline, no overlaps per die —
+    is checked by :meth:`validate`; the annealer works with intermediate
+    layouts that may violate the outline (penalized in cost).
+    """
+
+    stack: StackConfig
+    placements: Dict[str, Placement]
+    nets: Tuple[Net, ...] = ()
+    terminals: Dict[str, Terminal] = field(default_factory=dict)
+    tsvs: List[TSV] = field(default_factory=list)
+
+    # -- basic accessors ------------------------------------------------------
+    @property
+    def modules(self) -> List[Module]:
+        return [p.module for p in self.placements.values()]
+
+    def placements_on(self, die: int) -> List[Placement]:
+        return [p for p in self.placements.values() if p.die == die]
+
+    def die_utilization(self, die: int) -> float:
+        """Fraction of the die outline covered by module footprints."""
+        used = sum(p.width * p.height for p in self.placements_on(die))
+        return used / self.stack.outline.area
+
+    @property
+    def signal_tsvs(self) -> List[TSV]:
+        return [t for t in self.tsvs if t.kind == TSVKind.SIGNAL]
+
+    @property
+    def thermal_tsvs(self) -> List[TSV]:
+        return [t for t in self.tsvs if t.kind == TSVKind.THERMAL]
+
+    # -- legality -------------------------------------------------------------
+    def validate(self, tolerance: float = 1e-6) -> List[str]:
+        """Return a list of legality violations (empty = legal layout)."""
+        problems: List[str] = []
+        outline = self.stack.outline
+        for die in range(self.stack.num_dies):
+            rects = [p.rect for p in self.placements_on(die)]
+            for p in self.placements_on(die):
+                r = p.rect
+                if (
+                    r.x < outline.x - tolerance
+                    or r.y < outline.y - tolerance
+                    or r.x2 > outline.x2 + tolerance
+                    or r.y2 > outline.y2 + tolerance
+                ):
+                    problems.append(f"{p.name}: outside outline on die {die}")
+            overlap = total_overlap_area(rects)
+            if overlap > tolerance * max(1.0, outline.area):
+                problems.append(f"die {die}: total module overlap {overlap:.3g} um^2")
+        for tsv in self.tsvs:
+            if not outline.contains_point(tsv.x, tsv.y):
+                problems.append(f"TSV at ({tsv.x:.1f}, {tsv.y:.1f}) outside outline")
+        return problems
+
+    @property
+    def is_legal(self) -> bool:
+        return not self.validate()
+
+    # -- outline / packing metrics ---------------------------------------------
+    def packing_bbox(self, die: int) -> Optional[Rect]:
+        rects = [p.rect for p in self.placements_on(die)]
+        if not rects:
+            return None
+        return bounding_box(rects)
+
+    def outline_violation(self) -> float:
+        """Relative area by which packing bounding boxes exceed the outline.
+
+        0.0 when every die packs inside the fixed outline; used as the
+        fixed-outline penalty by the annealer.
+        """
+        outline = self.stack.outline
+        worst = 0.0
+        for die in range(self.stack.num_dies):
+            bbox = self.packing_bbox(die)
+            if bbox is None:
+                continue
+            ex = max(0.0, bbox.x2 - outline.x2) + max(0.0, outline.x - bbox.x)
+            ey = max(0.0, bbox.y2 - outline.y2) + max(0.0, outline.y - bbox.y)
+            worst += (ex / outline.w) + (ey / outline.h)
+        return worst
+
+    # -- interconnect ----------------------------------------------------------
+    def wirelength(self, tsv_length: float = 50.0) -> Tuple[float, int]:
+        """(total 3D HPWL in um, number of die crossings == signal TSVs)."""
+        return total_hpwl(self.nets, self.placements, self.terminals, tsv_length)
+
+    def place_signal_tsvs(self, rng: np.random.Generator | None = None) -> None:
+        """Derive signal TSV sites from inter-die nets.
+
+        Each die crossing of a net contributes one TSV placed at the
+        clipped centroid of the net's pins — the natural routing position.
+        Replaces previously derived signal TSVs; dummy thermal TSVs are
+        kept untouched.
+        """
+        outline = self.stack.outline
+        margin = self.stack.tsv_pitch / 2.0
+        new_tsvs: List[TSV] = [t for t in self.tsvs if t.kind == TSVKind.THERMAL]
+        for net in self.nets:
+            dies = {self.placements[m].die for m in net.modules if m in self.placements}
+            if len(dies) < 2:
+                continue
+            xs = [self.placements[m].center[0] for m in net.modules]
+            ys = [self.placements[m].center[1] for m in net.modules]
+            for t in net.terminals:
+                term = self.terminals.get(t)
+                if term is not None:
+                    xs.append(term.x)
+                    ys.append(term.y)
+            cx = min(max(float(np.mean(xs)), outline.x + margin), outline.x2 - margin)
+            cy = min(max(float(np.mean(ys)), outline.y + margin), outline.y2 - margin)
+            lo, hi = min(dies), max(dies)
+            for d in range(lo, hi):
+                new_tsvs.append(
+                    TSV(
+                        cx,
+                        cy,
+                        d,
+                        d + 1,
+                        kind=TSVKind.SIGNAL,
+                        diameter=self.stack.tsv_diameter,
+                        keepout=self.stack.tsv_keepout,
+                    )
+                )
+        self.tsvs = new_tsvs
+
+    # -- maps -------------------------------------------------------------------
+    def power_map(
+        self,
+        die: int,
+        grid: GridSpec | None = None,
+        activity: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        """Per-die power map in W per cell (see ``layout.grid``)."""
+        grid = grid or GridSpec(self.stack.outline)
+        return rasterize_power(self.placements.values(), grid, die, activity=activity)
+
+    def tsv_density(
+        self, die_pair: Tuple[int, int] = (0, 1), grid: GridSpec | None = None
+    ) -> np.ndarray:
+        """TSV footprint density map between a die pair, in [0, 1]."""
+        grid = grid or GridSpec(self.stack.outline)
+        return tsv_density_map(self.tsvs, self.stack.outline, grid.nx, grid.ny, between=die_pair)
+
+    def total_power(self) -> float:
+        """Total power in W including voltage scaling."""
+        from ..power.voltages import power_scale_for
+
+        return sum(
+            p.module.power * power_scale_for(p.voltage) for p in self.placements.values()
+        )
+
+    # -- copies -----------------------------------------------------------------
+    def copy(self) -> "Floorplan3D":
+        return Floorplan3D(
+            stack=self.stack,
+            placements=dict(self.placements),
+            nets=self.nets,
+            terminals=dict(self.terminals),
+            tsvs=list(self.tsvs),
+        )
+
+    def with_voltages(self, voltages: Mapping[str, float]) -> "Floorplan3D":
+        """A copy with per-module supply voltages applied."""
+        fp = self.copy()
+        fp.placements = {
+            name: (p.with_voltage(voltages[name]) if name in voltages else p)
+            for name, p in fp.placements.items()
+        }
+        return fp

@@ -1,0 +1,270 @@
+"""Planar geometry primitives for block-level floorplanning.
+
+All coordinates are in micrometres (um) unless stated otherwise.  The
+floorplanning, thermal, and leakage subsystems share these primitives, so
+they are deliberately small, immutable where possible, and numpy-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "Rect",
+    "bounding_box",
+    "manhattan",
+    "rect_overlap_area",
+    "rects_overlap",
+    "total_overlap_area",
+]
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2D point (um)."""
+
+    x: float
+    y: float
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+def manhattan(ax: float, ay: float, bx: float, by: float) -> float:
+    """Manhattan distance between two coordinate pairs."""
+    return abs(ax - bx) + abs(ay - by)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle, stored as lower-left corner plus size.
+
+    Invariants: ``w >= 0`` and ``h >= 0``.  Degenerate (zero-area)
+    rectangles are allowed; they are useful as point markers for terminals.
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"Rect requires non-negative size, got w={self.w}, h={self.h}")
+
+    # -- derived coordinates -------------------------------------------------
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.h
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def center(self) -> Point:
+        return Point(self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Width / height; ``inf`` for degenerate zero-height rects."""
+        if self.h == 0:
+            return math.inf
+        return self.w / self.h
+
+    # -- predicates ----------------------------------------------------------
+    def contains_point(self, px: float, py: float) -> bool:
+        """Whether (px, py) lies inside or on the boundary."""
+        return self.x <= px <= self.x2 and self.y <= py <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies fully inside (or on the boundary of) self.
+
+        Uses a coordinate-scaled tolerance: rects store (x, y, w, h), so a
+        derived edge like ``union_bbox(a, b).y2`` can differ from
+        ``max(a.y2, b.y2)`` by one ulp; exact comparison would make such
+        geometrically-true containments flicker.
+        """
+        tol = 1e-9 * max(
+            1.0, abs(self.x), abs(self.y), abs(self.x2), abs(self.y2)
+        )
+        return (
+            self.x <= other.x + tol
+            and self.y <= other.y + tol
+            and other.x2 <= self.x2 + tol
+            and other.y2 <= self.y2 + tol
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether the open interiors of the two rectangles intersect."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def touches_or_overlaps(self, other: "Rect") -> bool:
+        """Whether the closed rectangles intersect (shared edges count)."""
+        return (
+            self.x <= other.x2
+            and other.x <= self.x2
+            and self.y <= other.y2
+            and other.y <= self.y2
+        )
+
+    # -- constructive operations ----------------------------------------------
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or None when interiors are disjoint."""
+        x1 = max(self.x, other.x)
+        y1 = max(self.y, other.y)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 <= x1 or y2 <= y1:
+            return None
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection (0.0 when disjoint)."""
+        dx = min(self.x2, other.x2) - max(self.x, other.x)
+        dy = min(self.y2, other.y2) - max(self.y, other.y)
+        if dx <= 0 or dy <= 0:
+            return 0.0
+        return dx * dy
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """The bounding box enclosing both rectangles."""
+        x1 = min(self.x, other.x)
+        y1 = min(self.y, other.y)
+        x2 = max(self.x2, other.x2)
+        y2 = max(self.y2, other.y2)
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def moved_to(self, x: float, y: float) -> "Rect":
+        """A copy relocated so its lower-left corner is at (x, y)."""
+        return Rect(x, y, self.w, self.h)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def rotated(self) -> "Rect":
+        """A copy rotated by 90 degrees in place (w and h swapped)."""
+        return Rect(self.x, self.y, self.h, self.w)
+
+    def inflated(self, margin: float) -> "Rect":
+        """A copy grown by ``margin`` on every side (clipped at zero size)."""
+        w = max(0.0, self.w + 2 * margin)
+        h = max(0.0, self.h + 2 * margin)
+        return Rect(self.x - margin, self.y - margin, w, h)
+
+    def distance_to(self, other: "Rect") -> float:
+        """Minimum Manhattan gap between two rectangles (0 when touching)."""
+        dx = max(0.0, max(self.x, other.x) - min(self.x2, other.x2))
+        dy = max(0.0, max(self.y, other.y) - min(self.y2, other.y2))
+        return dx + dy
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """The minimal axis-aligned bounding box of a non-empty rect collection."""
+    it: Iterator[Rect] = iter(rects)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("bounding_box() of an empty collection") from None
+    x1, y1, x2, y2 = first.x, first.y, first.x2, first.y2
+    for r in it:
+        x1 = min(x1, r.x)
+        y1 = min(y1, r.y)
+        x2 = max(x2, r.x2)
+        y2 = max(y2, r.y2)
+    return Rect(x1, y1, x2 - x1, y2 - y1)
+
+
+def rects_overlap(rects: Sequence[Rect]) -> bool:
+    """Whether any pair of rectangles in the sequence overlaps.
+
+    Uses a sweep over x-sorted rectangles; adequate for the block counts in
+    floorplanning benchmarks (hundreds to low thousands).
+    """
+    order = sorted(range(len(rects)), key=lambda i: rects[i].x)
+    active: list[int] = []
+    for idx in order:
+        r = rects[idx]
+        active = [j for j in active if rects[j].x2 > r.x]
+        for j in active:
+            if r.overlaps(rects[j]):
+                return True
+        active.append(idx)
+    return False
+
+
+def total_overlap_area(rects: Sequence[Rect]) -> float:
+    """Sum of pairwise overlap areas (0.0 for a legal packing)."""
+    order = sorted(range(len(rects)), key=lambda i: rects[i].x)
+    active: list[int] = []
+    total = 0.0
+    for idx in order:
+        r = rects[idx]
+        active = [j for j in active if rects[j].x2 > r.x]
+        for j in active:
+            total += r.overlap_area(rects[j])
+        active.append(idx)
+    return total
+
+
+def pairwise_manhattan_sum(xs: np.ndarray) -> float:
+    """Sum over all unordered pairs of |xi - xj| in O(n log n).
+
+    For sorted values x(1) <= ... <= x(n), the contribution of x(k) is
+    ``x(k) * (k-1) - prefix_sum(k-1)`` — the classic sorted prefix-sum
+    identity.  Used by the spatial-entropy class distances (Eq. 3).
+    """
+    xs = np.sort(np.asarray(xs, dtype=float))
+    n = xs.size
+    if n < 2:
+        return 0.0
+    ranks = np.arange(n, dtype=float)
+    prefix = np.concatenate(([0.0], np.cumsum(xs)[:-1]))
+    return float(np.sum(xs * ranks - prefix))
+
+
+def cross_manhattan_sum(xs_a: np.ndarray, xs_b: np.ndarray) -> float:
+    """Sum over all pairs (a in A, b in B) of |a - b| in O(n log n).
+
+    Identity: sum_{A x B} = sum_{A union B pairs} - sum_{A pairs} - sum_{B pairs},
+    where the union is treated as a multiset.
+    """
+    xs_a = np.asarray(xs_a, dtype=float)
+    xs_b = np.asarray(xs_b, dtype=float)
+    if xs_a.size == 0 or xs_b.size == 0:
+        return 0.0
+    merged = np.concatenate([xs_a, xs_b])
+    return (
+        pairwise_manhattan_sum(merged)
+        - pairwise_manhattan_sum(xs_a)
+        - pairwise_manhattan_sum(xs_b)
+    )
+
+
+def rect_overlap_area(a: Rect, b: Rect) -> float:
+    """Module-level alias for :meth:`Rect.overlap_area`."""
+    return a.overlap_area(b)

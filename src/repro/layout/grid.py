@@ -1,0 +1,149 @@
+"""Equidistant analysis grids and rasterization of module maps.
+
+Power maps, thermal maps, and TSV density maps all share one grid
+convention: an (ny, nx) array whose element [j, i] covers the cell with
+lower-left corner (outline.x + i*cell_w, outline.y + j*cell_h).  The
+leakage metrics (Eq. 1-3) require power and thermal grids with identical
+dimensions; this module is the single place that builds them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .geometry import Rect
+from .module import Placement
+
+__all__ = ["GridSpec", "rasterize_power", "rasterize_value_map", "bin_centers"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """An nx x ny equidistant grid over a die outline."""
+
+    outline: Rect
+    nx: int = 64
+    ny: int = 64
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("grid dimensions must be >= 1")
+
+    @property
+    def cell_w(self) -> float:
+        return self.outline.w / self.nx
+
+    @property
+    def cell_h(self) -> float:
+        return self.outline.h / self.ny
+
+    @property
+    def cell_area(self) -> float:
+        return self.cell_w * self.cell_h
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Numpy shape of maps on this grid: (ny, nx)."""
+        return (self.ny, self.nx)
+
+    def cell_rect(self, i: int, j: int) -> Rect:
+        """The geometric extent of cell column i, row j."""
+        return Rect(
+            self.outline.x + i * self.cell_w,
+            self.outline.y + j * self.cell_h,
+            self.cell_w,
+            self.cell_h,
+        )
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """(i, j) indices of the cell containing point (x, y), clipped."""
+        i = int((x - self.outline.x) / self.cell_w)
+        j = int((y - self.outline.y) / self.cell_h)
+        return (min(max(i, 0), self.nx - 1), min(max(j, 0), self.ny - 1))
+
+    def cell_center(self, i: int, j: int) -> Tuple[float, float]:
+        return (
+            self.outline.x + (i + 0.5) * self.cell_w,
+            self.outline.y + (j + 0.5) * self.cell_h,
+        )
+
+
+def bin_centers(grid: GridSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Meshgrid arrays (X, Y) of cell-centre coordinates, shape (ny, nx)."""
+    xs = grid.outline.x + (np.arange(grid.nx) + 0.5) * grid.cell_w
+    ys = grid.outline.y + (np.arange(grid.ny) + 0.5) * grid.cell_h
+    return np.meshgrid(xs, ys)
+
+
+def _accumulate_rect(
+    out: np.ndarray, grid: GridSpec, rect: Rect, density: float
+) -> None:
+    """Add ``density`` (value per um^2) into every cell overlapped by rect,
+    weighted by the exact overlap area."""
+    x1 = max(rect.x, grid.outline.x)
+    y1 = max(rect.y, grid.outline.y)
+    x2 = min(rect.x2, grid.outline.x2)
+    y2 = min(rect.y2, grid.outline.y2)
+    if x2 <= x1 or y2 <= y1:
+        return
+    cw, ch = grid.cell_w, grid.cell_h
+    i1 = int((x1 - grid.outline.x) / cw)
+    i2 = min(grid.nx - 1, int((x2 - grid.outline.x) / cw - 1e-12))
+    j1 = int((y1 - grid.outline.y) / ch)
+    j2 = min(grid.ny - 1, int((y2 - grid.outline.y) / ch - 1e-12))
+    # Per-axis overlap lengths; outer product gives per-cell overlap areas.
+    cols = np.arange(i1, i2 + 1)
+    rows = np.arange(j1, j2 + 1)
+    cx1 = grid.outline.x + cols * cw
+    cy1 = grid.outline.y + rows * ch
+    ox = np.minimum(x2, cx1 + cw) - np.maximum(x1, cx1)
+    oy = np.minimum(y2, cy1 + ch) - np.maximum(y1, cy1)
+    out[j1 : j2 + 1, i1 : i2 + 1] += density * np.outer(oy, ox)
+
+
+def rasterize_power(
+    placements: Iterable[Placement],
+    grid: GridSpec,
+    die: int,
+    activity: Mapping[str, float] | None = None,
+) -> np.ndarray:
+    """Power map of one die in W per cell, shape (ny, nx).
+
+    Each placed module spreads its *effective* power uniformly over its
+    footprint; effective power is the nominal power scaled by the supply
+    voltage's power factor (already folded into the placement's power via
+    the voltage assignment caller) times an optional per-module activity
+    factor (used by the Gaussian activity sampler, Sec. 6.2).
+    """
+    from ..power.voltages import power_scale_for  # local import avoids cycle
+
+    out = np.zeros(grid.shape, dtype=float)
+    for p in placements:
+        if p.die != die:
+            continue
+        act = 1.0 if activity is None else activity.get(p.name, 1.0)
+        eff_power = p.module.power * power_scale_for(p.voltage) * act
+        area = p.width * p.height
+        if area <= 0 or eff_power == 0.0:
+            continue
+        _accumulate_rect(out, grid, p.rect, eff_power / area)
+    return out
+
+
+def rasterize_value_map(
+    rect_values: Sequence[Tuple[Rect, float]], grid: GridSpec
+) -> np.ndarray:
+    """Generic rasterizer: list of (rect, total_value) onto the grid.
+
+    Each rect's value is spread uniformly over its area; cells accumulate
+    the exact overlapped share.  Returns value per cell, shape (ny, nx).
+    """
+    out = np.zeros(grid.shape, dtype=float)
+    for rect, value in rect_values:
+        if rect.area <= 0:
+            continue
+        _accumulate_rect(out, grid, rect, value / rect.area)
+    return out

@@ -1,0 +1,110 @@
+"""Nets connecting modules and die-boundary terminals.
+
+Wirelength is measured as 3D half-perimeter wirelength (HPWL): the planar
+half-perimeter of the net's bounding box plus a per-die-crossing TSV term.
+This matches how Corblivar scores interconnects for stacked dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from .geometry import Point
+from .module import Placement
+
+__all__ = ["Terminal", "Net", "net_hpwl_3d", "total_hpwl"]
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """A fixed I/O pin on the die outline (GSRC terminal)."""
+
+    name: str
+    x: float
+    y: float
+
+    @property
+    def position(self) -> Point:
+        return Point(self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Net:
+    """A multi-pin net over module names and terminal names.
+
+    The first module listed is treated as the driver for timing purposes
+    (GSRC benchmarks carry no direction information; this convention is the
+    standard fallback).
+    """
+
+    name: str
+    modules: Tuple[str, ...]
+    terminals: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.modules) + len(self.terminals) < 2:
+            raise ValueError(f"net {self.name!r}: needs at least two pins")
+
+    @property
+    def degree(self) -> int:
+        return len(self.modules) + len(self.terminals)
+
+    @property
+    def driver(self) -> str | None:
+        """Name of the driving module (None for terminal-only nets)."""
+        return self.modules[0] if self.modules else None
+
+    @property
+    def sinks(self) -> Tuple[str, ...]:
+        return self.modules[1:]
+
+
+def net_hpwl_3d(
+    net: Net,
+    placements: Mapping[str, Placement],
+    terminals: Mapping[str, Terminal],
+    tsv_length: float,
+) -> Tuple[float, int]:
+    """3D HPWL and the number of die crossings for one net.
+
+    Returns ``(wirelength_um, crossings)``.  The wirelength is the planar
+    half-perimeter over all pin positions plus ``crossings * tsv_length``.
+    The crossing count is the span of die indices used by the net's module
+    pins (terminals sit on the package/bottom-die boundary and do not add
+    crossings on their own).
+    """
+    xs: list[float] = []
+    ys: list[float] = []
+    dies: set[int] = set()
+    for mod_name in net.modules:
+        p = placements[mod_name]
+        cx, cy = p.center
+        xs.append(cx)
+        ys.append(cy)
+        dies.add(p.die)
+    for term_name in net.terminals:
+        t = terminals[term_name]
+        xs.append(t.x)
+        ys.append(t.y)
+    if not xs:
+        return 0.0, 0
+    hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+    crossings = (max(dies) - min(dies)) if dies else 0
+    return hpwl + crossings * tsv_length, crossings
+
+
+def total_hpwl(
+    nets: Iterable[Net],
+    placements: Mapping[str, Placement],
+    terminals: Mapping[str, Terminal],
+    tsv_length: float,
+) -> Tuple[float, int]:
+    """Total 3D HPWL and total number of die crossings (signal TSV count)."""
+    total = 0.0
+    total_crossings = 0
+    for net in nets:
+        wl, crossings = net_hpwl_3d(net, placements, terminals, tsv_length)
+        total += wl
+        total_crossings += crossings
+    return total, total_crossings

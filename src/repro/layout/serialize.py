@@ -1,0 +1,111 @@
+"""JSON (de)serialization of floorplans.
+
+Floorplanning runs are expensive; these helpers let users persist a
+:class:`~repro.layout.floorplan.Floorplan3D` — placements, voltages, and
+TSVs — and reload it for later analysis (attacks, mitigation, thermal
+studies) without re-annealing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from .die import StackConfig
+from .floorplan import Floorplan3D
+from .geometry import Rect
+from .module import Module, Placement
+from .net import Net, Terminal
+from .tsv import TSV
+
+__all__ = ["floorplan_to_dict", "floorplan_from_dict", "save_floorplan", "load_floorplan"]
+
+
+def floorplan_to_dict(fp: Floorplan3D) -> Dict[str, Any]:
+    """A plain-dict snapshot of the floorplan (JSON-compatible)."""
+    return {
+        "stack": {
+            "outline": [fp.stack.outline.x, fp.stack.outline.y,
+                        fp.stack.outline.w, fp.stack.outline.h],
+            "num_dies": fp.stack.num_dies,
+            "tsv_diameter": fp.stack.tsv_diameter,
+            "tsv_keepout": fp.stack.tsv_keepout,
+        },
+        "placements": [
+            {
+                "name": p.module.name,
+                "width": p.module.width,
+                "height": p.module.height,
+                "kind": p.module.kind,
+                "power": p.module.power,
+                "intrinsic_delay": p.module.intrinsic_delay,
+                "x": p.x,
+                "y": p.y,
+                "die": p.die,
+                "rotated": p.rotated,
+                "voltage": p.voltage,
+            }
+            for p in fp.placements.values()
+        ],
+        "nets": [
+            {"name": n.name, "modules": list(n.modules), "terminals": list(n.terminals)}
+            for n in fp.nets
+        ],
+        "terminals": [
+            {"name": t.name, "x": t.x, "y": t.y} for t in fp.terminals.values()
+        ],
+        "tsvs": [
+            {
+                "x": t.x, "y": t.y, "die_from": t.die_from, "die_to": t.die_to,
+                "kind": t.kind, "diameter": t.diameter, "keepout": t.keepout,
+            }
+            for t in fp.tsvs
+        ],
+    }
+
+
+def floorplan_from_dict(data: Dict[str, Any]) -> Floorplan3D:
+    """Rebuild a floorplan from :func:`floorplan_to_dict` output."""
+    s = data["stack"]
+    stack = StackConfig(
+        Rect(*s["outline"]),
+        num_dies=s["num_dies"],
+        tsv_diameter=s.get("tsv_diameter", 5.0),
+        tsv_keepout=s.get("tsv_keepout", 2.5),
+    )
+    placements = {}
+    for rec in data["placements"]:
+        module = Module(
+            rec["name"], rec["width"], rec["height"], kind=rec["kind"],
+            power=rec["power"], intrinsic_delay=rec.get("intrinsic_delay", 0.0),
+        )
+        placements[rec["name"]] = Placement(
+            module, rec["x"], rec["y"], rec["die"],
+            rotated=rec.get("rotated", False),
+            voltage=rec.get("voltage", 1.0),
+        )
+    nets = tuple(
+        Net(n["name"], tuple(n["modules"]), tuple(n.get("terminals", ())))
+        for n in data.get("nets", [])
+    )
+    terminals = {
+        t["name"]: Terminal(t["name"], t["x"], t["y"])
+        for t in data.get("terminals", [])
+    }
+    tsvs = [
+        TSV(t["x"], t["y"], t["die_from"], t["die_to"], kind=t["kind"],
+            diameter=t["diameter"], keepout=t["keepout"])
+        for t in data.get("tsvs", [])
+    ]
+    return Floorplan3D(stack, placements, nets, terminals, tsvs)
+
+
+def save_floorplan(fp: Floorplan3D, path: str | Path) -> None:
+    """Write the floorplan as JSON."""
+    Path(path).write_text(json.dumps(floorplan_to_dict(fp), indent=1))
+
+
+def load_floorplan(path: str | Path) -> Floorplan3D:
+    """Read a floorplan written by :func:`save_floorplan`."""
+    return floorplan_from_dict(json.loads(Path(path).read_text()))

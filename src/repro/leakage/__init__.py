@@ -1,0 +1,21 @@
+"""Leakage models: Eq. 1 correlation, Eq. 2 stability, Eq. 3 spatial entropy, SVF."""
+
+from .entropy import SpatialEntropyBreakdown, nested_means_classes, spatial_entropy
+from .pearson import average_correlation, die_correlation, local_correlation_map, pearson
+from .stability import average_stability, most_stable_bins, stability_map
+from .svf import similarity_matrix, svf
+
+__all__ = [
+    "SpatialEntropyBreakdown",
+    "nested_means_classes",
+    "spatial_entropy",
+    "average_correlation",
+    "die_correlation",
+    "local_correlation_map",
+    "pearson",
+    "average_stability",
+    "most_stable_bins",
+    "stability_map",
+    "similarity_matrix",
+    "svf",
+]

@@ -1,0 +1,181 @@
+"""Spatial entropy of power maps (the paper's Eq. 3, after Claramunt).
+
+The spatial entropy weighs every power class's Shannon term by a ratio of
+its average intra-class and inter-class Manhattan distances:
+
+    S_d = - sum_i w_i * (|c_i| / |C|) log2(|c_i| / |C|)
+
+Claramunt's two principles — "(i) the closer the different entities, the
+higher the spatial entropy; (ii) the closer the similar entities, the
+lower the spatial entropy" — require the weight w_i = d_intra_i /
+d_inter_i (clustered similar values shrink d_intra and the entropy;
+interleaved different values shrink d_inter and raise it).  The paper's
+Eq. 3 as printed shows the inverted ratio d_inter_i / d_intra_i, which
+contradicts both principles and the paper's own empirical trend ("the
+lower the spatial entropy, the lower the power-temperature correlation");
+we treat that as a typo, default to the principled ``claramunt`` weight,
+and keep the printed form available via ``weight="as_printed"``.
+
+The metric needs no thermal solve, which is why the floorplanner can
+afford it *every* iteration as a fast leakage proxy (Sec. 4.2).
+
+Classes come from nested-means partitioning (sort, split at the mean,
+recurse until the class standard deviation approaches zero).  All average
+distances use the exact O(k log k) sorted prefix-sum identity rather than
+O(k^2) pairwise enumeration, so 64x64 grids classify in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..layout.geometry import cross_manhattan_sum, pairwise_manhattan_sum
+
+__all__ = ["nested_means_classes", "spatial_entropy", "SpatialEntropyBreakdown"]
+
+
+def nested_means_classes(
+    values: np.ndarray,
+    rtol: float = 0.05,
+    max_depth: int = 4,
+) -> np.ndarray:
+    """Nested-means classification of a value array.
+
+    Returns an integer label array of ``values.shape``; labels are dense
+    (0..k-1) in ascending order of class mean.  Splitting stops when a
+    class's standard deviation falls below ``rtol`` times the global
+    standard deviation, when it cannot be split further, or at
+    ``max_depth`` recursion levels.
+    """
+    flat = np.asarray(values, dtype=float).ravel()
+    labels = np.zeros(flat.size, dtype=int)
+    global_std = float(flat.std())
+    if global_std == 0.0 or flat.size < 2:
+        return labels.reshape(np.asarray(values).shape)
+    threshold = rtol * global_std
+
+    # iterative splitting (explicit stack avoids recursion limits)
+    next_label = 1
+    stack: List[Tuple[np.ndarray, int]] = [(np.arange(flat.size), 0)]
+    while stack:
+        idx, depth = stack.pop()
+        vals = flat[idx]
+        if idx.size < 2 or depth >= max_depth or vals.std() <= threshold:
+            continue
+        mean = vals.mean()
+        left = idx[vals < mean]
+        right = idx[vals >= mean]
+        if left.size == 0 or right.size == 0:
+            continue
+        labels[right] = next_label
+        next_label += 1
+        stack.append((left, depth + 1))
+        stack.append((right, depth + 1))
+
+    # densify labels in ascending order of class mean
+    unique = np.unique(labels)
+    means = np.array([flat[labels == u].mean() for u in unique])
+    order = np.argsort(means)
+    remap = {int(unique[o]): rank for rank, o in enumerate(order)}
+    dense = np.array([remap[int(l)] for l in labels])
+    return dense.reshape(np.asarray(values).shape)
+
+
+@dataclass
+class SpatialEntropyBreakdown:
+    """Per-class contributions to the spatial entropy (diagnostics)."""
+
+    entropy: float
+    class_sizes: List[int]
+    inter_distances: List[float]
+    intra_distances: List[float]
+    contributions: List[float]
+
+
+def _class_distances(
+    xs: np.ndarray, ys: np.ndarray, member: np.ndarray
+) -> Tuple[float, float]:
+    """(avg inter-class, avg intra-class) Manhattan distance for one class.
+
+    ``member`` is a boolean mask over bins.  Singleton classes get an
+    intra-class distance of 0.5 cells — the sub-resolution floor — so the
+    inter/intra ratio stays finite, following the grid-distance convention.
+    """
+    mx, my = xs[member], ys[member]
+    ox, oy = xs[~member], ys[~member]
+    k = mx.size
+    intra = 0.5
+    if k >= 2:
+        pairs = k * (k - 1) / 2.0
+        intra = (pairwise_manhattan_sum(mx) + pairwise_manhattan_sum(my)) / pairs
+        intra = max(intra, 0.5)
+    inter = 0.0
+    if ox.size > 0 and k > 0:
+        cross_pairs = float(k) * float(ox.size)
+        inter = (cross_manhattan_sum(mx, ox) + cross_manhattan_sum(my, oy)) / cross_pairs
+    return inter, intra
+
+
+def spatial_entropy(
+    power_map: np.ndarray,
+    rtol: float = 0.05,
+    max_depth: int = 4,
+    breakdown: bool = False,
+    weight: str = "claramunt",
+) -> float | SpatialEntropyBreakdown:
+    """Eq. 3: spatial entropy S_d of one die's power map.
+
+    Bin coordinates are grid indices (equidistant bins, Manhattan metric).
+    ``weight`` selects the class weight: ``"claramunt"`` (default) uses
+    d_intra/d_inter per Claramunt's principles; ``"as_printed"`` uses the
+    paper's literal d_inter/d_intra (see module docstring).  Returns the
+    scalar entropy, or a :class:`SpatialEntropyBreakdown` when
+    ``breakdown=True``.
+    """
+    if weight not in ("claramunt", "as_printed"):
+        raise ValueError(f"unknown weight form {weight!r}")
+    pm = np.asarray(power_map, dtype=float)
+    if pm.ndim != 2:
+        raise ValueError("power map must be 2D")
+    labels = nested_means_classes(pm, rtol=rtol, max_depth=max_depth)
+    ny, nx = pm.shape
+    ys, xs = np.mgrid[0:ny, 0:nx]
+    xs = xs.ravel().astype(float)
+    ys = ys.ravel().astype(float)
+    flat_labels = labels.ravel()
+    total = flat_labels.size
+
+    entropy = 0.0
+    sizes: List[int] = []
+    inters: List[float] = []
+    intras: List[float] = []
+    contribs: List[float] = []
+    for label in np.unique(flat_labels):
+        member = flat_labels == label
+        size = int(member.sum())
+        frac = size / total
+        inter, intra = _class_distances(xs, ys, member)
+        shannon = frac * np.log2(frac) if frac > 0 else 0.0
+        if weight == "claramunt":
+            ratio = intra / inter if inter > 0 else 0.0
+        else:
+            ratio = inter / intra if intra > 0 else 0.0
+        contrib = -ratio * shannon
+        entropy += contrib
+        sizes.append(size)
+        inters.append(inter)
+        intras.append(intra)
+        contribs.append(contrib)
+
+    if breakdown:
+        return SpatialEntropyBreakdown(
+            entropy=float(entropy),
+            class_sizes=sizes,
+            inter_distances=inters,
+            intra_distances=intras,
+            contributions=contribs,
+        )
+    return float(entropy)

@@ -1,0 +1,12 @@
+"""Mitigation post-processing: activity sampling and dummy-TSV insertion."""
+
+from .activity import ActivitySampler, sample_power_maps
+from .dummy_tsv import MitigationConfig, MitigationReport, insert_dummy_tsvs
+
+__all__ = [
+    "ActivitySampler",
+    "sample_power_maps",
+    "MitigationConfig",
+    "MitigationReport",
+    "insert_dummy_tsvs",
+]

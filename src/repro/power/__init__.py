@@ -1,0 +1,25 @@
+"""Power-management substrate: voltage levels, volumes, and assignment."""
+
+from .assignment import AssignmentObjective, VoltageAssignment, assign_voltages
+from .voltages import (
+    DEFAULT_LEVELS,
+    VoltageLevel,
+    delay_scale_for,
+    feasible_voltages,
+    power_scale_for,
+)
+from .volumes import VoltageVolume, grow_volumes, module_adjacency
+
+__all__ = [
+    "AssignmentObjective",
+    "VoltageAssignment",
+    "assign_voltages",
+    "DEFAULT_LEVELS",
+    "VoltageLevel",
+    "delay_scale_for",
+    "feasible_voltages",
+    "power_scale_for",
+    "VoltageVolume",
+    "grow_volumes",
+    "module_adjacency",
+]

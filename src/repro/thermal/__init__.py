@@ -1,0 +1,45 @@
+"""Thermal analysis substrate: materials, stack, detailed and fast solvers."""
+
+from .fast import FastThermalModel, MaskParams, calibrate
+from .materials import (
+    BEOL,
+    BOND,
+    COPPER,
+    SILICON,
+    SIO2,
+    TIM,
+    Material,
+    tsv_composite_lateral,
+    tsv_composite_vertical,
+)
+from .rc_network import ThermalNetwork, assemble
+from .stack import DEFAULT_DIMENSIONS, Layer, ThermalStack, build_stack
+from .steady_state import SteadyStateSolver, ThermalResult, solve_floorplan
+from .transient import TransientSolver, TransientTrace, thermal_time_constant
+
+__all__ = [
+    "FastThermalModel",
+    "MaskParams",
+    "calibrate",
+    "Material",
+    "SILICON",
+    "COPPER",
+    "SIO2",
+    "BEOL",
+    "BOND",
+    "TIM",
+    "tsv_composite_lateral",
+    "tsv_composite_vertical",
+    "ThermalNetwork",
+    "assemble",
+    "Layer",
+    "ThermalStack",
+    "build_stack",
+    "DEFAULT_DIMENSIONS",
+    "SteadyStateSolver",
+    "ThermalResult",
+    "solve_floorplan",
+    "TransientSolver",
+    "TransientTrace",
+    "thermal_time_constant",
+]

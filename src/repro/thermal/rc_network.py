@@ -1,0 +1,161 @@
+"""Finite-volume thermal RC network assembly.
+
+Discretizes a :class:`~repro.thermal.stack.ThermalStack` into one node per
+(layer, row, col) cell and assembles the conductance matrix G (W/K) and
+capacitance vector C (J/K):
+
+* vertical coupling between stacked cells: series combination of the two
+  half-cell resistances, ``g = A / (t_a / (2 k_a) + t_b / (2 k_b))``;
+* lateral coupling inside a layer: harmonic-mean conductivity over the
+  shared face, ``g = k_hm * t * len_face / dist``;
+* boundary coupling: per-area resistances to the ambient at the top
+  (heatsink/convection) and bottom (package, the secondary path); lateral
+  stack faces are adiabatic, as in HotSpot's grid model.
+
+The steady-state problem is ``G T = q`` with the ambient folded into q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .stack import ThermalStack
+
+__all__ = ["ThermalNetwork", "assemble"]
+
+#: micrometres -> metres (grids carry um geometry)
+_UM = 1e-6
+
+
+@dataclass
+class ThermalNetwork:
+    """Assembled network: sparse G, capacitances, boundary conductances."""
+
+    stack: ThermalStack
+    conductance: sp.csc_matrix  # (N, N), includes boundary terms on diagonal
+    capacitance: np.ndarray  # (N,) J/K
+    boundary: np.ndarray  # (N,) W/K conductance to ambient
+
+    @property
+    def num_nodes(self) -> int:
+        return self.capacitance.size
+
+    def node_index(self, layer: int, row: int, col: int) -> int:
+        nx, ny = self.stack.grid.nx, self.stack.grid.ny
+        return (layer * ny + row) * nx + col
+
+    def power_vector(self, power_maps: List[np.ndarray]) -> np.ndarray:
+        """Assemble the nodal power vector from per-die power maps (W/cell).
+
+        ``power_maps[d]`` feeds the active layer of die ``d``; missing
+        trailing dies default to zero power.
+        """
+        grid = self.stack.grid
+        q = np.zeros(self.num_nodes)
+        for layer_idx, die in self.stack.power_layers():
+            if die < len(power_maps) and power_maps[die] is not None:
+                pm = np.asarray(power_maps[die], dtype=float)
+                if pm.shape != grid.shape:
+                    raise ValueError(
+                        f"power map for die {die}: shape {pm.shape} != {grid.shape}"
+                    )
+                base = layer_idx * grid.ny * grid.nx
+                q[base : base + grid.ny * grid.nx] = pm.ravel()
+        return q
+
+
+def assemble(stack: ThermalStack) -> ThermalNetwork:
+    """Build the sparse conductance matrix and capacitance vector."""
+    grid = stack.grid
+    nx, ny = grid.nx, grid.ny
+    nl = stack.num_layers
+    n_per_layer = nx * ny
+    n = nl * n_per_layer
+
+    cw = grid.cell_w * _UM
+    ch = grid.cell_h * _UM
+    cell_area = cw * ch
+
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    diag = np.zeros(n)
+
+    def add_pairs(idx_a: np.ndarray, idx_b: np.ndarray, g: np.ndarray) -> None:
+        """Symmetric off-diagonal entries -g plus diagonal accumulation."""
+        rows.append(idx_a)
+        cols.append(idx_b)
+        vals.append(-g)
+        rows.append(idx_b)
+        cols.append(idx_a)
+        vals.append(-g)
+        np.add.at(diag, idx_a, g)
+        np.add.at(diag, idx_b, g)
+
+    layer_base = [l * n_per_layer for l in range(nl)]
+    cell_idx = np.arange(n_per_layer).reshape(ny, nx)
+
+    # lateral coupling (x neighbours and y neighbours per layer)
+    for li, layer in enumerate(stack.layers):
+        kl = layer.k_lateral
+        t = layer.thickness
+        # x-direction: face area = t * ch, distance cw
+        k_hm = 2.0 * kl[:, :-1] * kl[:, 1:] / (kl[:, :-1] + kl[:, 1:])
+        g = k_hm * t * ch / cw
+        a = layer_base[li] + cell_idx[:, :-1].ravel()
+        b = layer_base[li] + cell_idx[:, 1:].ravel()
+        add_pairs(a, b, g.ravel())
+        # y-direction: face area = t * cw, distance ch
+        k_hm = 2.0 * kl[:-1, :] * kl[1:, :] / (kl[:-1, :] + kl[1:, :])
+        g = k_hm * t * cw / ch
+        a = layer_base[li] + cell_idx[:-1, :].ravel()
+        b = layer_base[li] + cell_idx[1:, :].ravel()
+        add_pairs(a, b, g.ravel())
+
+    # vertical coupling between consecutive layers
+    for li in range(nl - 1):
+        la, lb = stack.layers[li], stack.layers[li + 1]
+        r = la.thickness / (2.0 * la.k_vertical) + lb.thickness / (2.0 * lb.k_vertical)
+        g = (cell_area / r).ravel()
+        a = layer_base[li] + cell_idx.ravel()
+        b = layer_base[li + 1] + cell_idx.ravel()
+        add_pairs(a, b, g)
+
+    # boundary conductances to ambient
+    boundary = np.zeros(n)
+    top = stack.layers[-1]
+    g_top = cell_area / (stack.r_top_area + top.thickness / (2.0 * top.k_vertical))
+    idx_top = layer_base[-1] + cell_idx.ravel()
+    boundary[idx_top] += np.asarray(g_top, dtype=float).ravel()
+    bottom = stack.layers[0]
+    r_bot = (
+        stack.r_bottom_map
+        if stack.r_bottom_map is not None
+        else stack.r_bottom_area
+    )
+    g_bot = cell_area / (r_bot + bottom.thickness / (2.0 * bottom.k_vertical))
+    idx_bot = layer_base[0] + cell_idx.ravel()
+    boundary[idx_bot] += np.asarray(g_bot, dtype=float).ravel()
+    diag += boundary
+
+    rows.append(np.arange(n))
+    cols.append(np.arange(n))
+    vals.append(diag)
+
+    G = sp.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    ).tocsc()
+
+    capacitance = np.empty(n)
+    for li, layer in enumerate(stack.layers):
+        vol = cell_area * layer.thickness
+        capacitance[layer_base[li] : layer_base[li] + n_per_layer] = (
+            layer.capacity * vol
+        ).ravel()
+
+    return ThermalNetwork(stack=stack, conductance=G, capacitance=capacitance, boundary=boundary)

@@ -1,0 +1,219 @@
+"""Layer-stack builder for the two-die face-to-back 3D IC.
+
+Builds the ordered layer list the RC solver discretizes.  Layer order from
+the package (bottom) to the heatsink (top), for the paper's stacking style
+(Fig. 1: two dies, face-to-back, heatsink atop the upper die):
+
+    0  die0 bulk silicon      (thick carrier of the bottom die)
+    1  die0 active layer      <- power injection of die 0
+    2  die0 BEOL metal stack
+    3  bond / adhesive layer  <- TSVs penetrate (modified conductivity)
+    4  die1 thinned bulk Si   <- TSVs penetrate (modified conductivity)
+    5  die1 active layer      <- power injection of die 1
+    6  die1 BEOL metal stack
+    7  TIM
+    8  heat spreader (Cu)
+    9  heatsink base (Cu)     -> convective boundary to ambient
+
+The secondary heat path exits the bottom of layer 0 through a lumped
+package resistance (Sec. 3 "the secondary path conducting heat towards
+the package").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..layout.die import StackConfig
+from ..layout.grid import GridSpec
+from .materials import (
+    BEOL,
+    BOND,
+    COPPER,
+    SILICON,
+    TIM,
+    Material,
+    tsv_composite_capacity,
+    tsv_composite_lateral,
+    tsv_composite_vertical,
+)
+
+__all__ = ["Layer", "ThermalStack", "build_stack", "DEFAULT_DIMENSIONS"]
+
+
+@dataclass
+class Layer:
+    """One discretized layer: thickness plus per-cell property maps."""
+
+    name: str
+    thickness: float  # m
+    k_vertical: np.ndarray  # (ny, nx) W/(m K)
+    k_lateral: np.ndarray  # (ny, nx) W/(m K)
+    capacity: np.ndarray  # (ny, nx) J/(m^3 K)
+    #: index of the die whose power map feeds this layer, or None
+    power_die: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.thickness <= 0:
+            raise ValueError(f"layer {self.name!r}: non-positive thickness")
+
+
+#: Default layer thicknesses in metres.
+DEFAULT_DIMENSIONS: Dict[str, float] = {
+    "bulk_thick": 300e-6,  # bottom-die carrier silicon
+    "bulk_thin": 100e-6,  # thinned upper-die silicon (TSV layer)
+    "active": 2e-6,
+    "beol": 12e-6,
+    "bond": 20e-6,
+    "tim": 50e-6,
+    "spreader": 1000e-6,
+    "sink": 6900e-6,
+}
+
+
+@dataclass
+class ThermalStack:
+    """The full discretized stack plus boundary resistances."""
+
+    grid: GridSpec
+    layers: List[Layer]
+    #: per-area resistance top -> ambient (K m^2 / W), the heatsink path
+    r_top_area: float = 2.0e-5
+    #: per-area resistance bottom -> ambient, the secondary package path
+    r_bottom_area: float = 1.0e-3
+    ambient: float = 293.0  # K (the paper reports peaks w.r.t. 293 K)
+    #: optional per-cell bottom resistance map (K m^2 / W); overrides
+    #: ``r_bottom_area`` where given.  TSV-dense cells connect to the
+    #: package through micro-bump/redistribution stacks, locally
+    #: strengthening the secondary heat path.
+    r_bottom_map: Optional[np.ndarray] = None
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_layers * self.grid.nx * self.grid.ny
+
+    def layer_index(self, name: str) -> int:
+        for i, layer in enumerate(self.layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"no layer named {name!r}")
+
+    def power_layers(self) -> List[Tuple[int, int]]:
+        """(layer index, die index) for every power-injecting layer."""
+        return [
+            (i, layer.power_die)
+            for i, layer in enumerate(self.layers)
+            if layer.power_die is not None
+        ]
+
+
+def _uniform(material: Material, shape: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    k = np.full(shape, material.conductivity)
+    return k, k.copy(), np.full(shape, material.capacity)
+
+
+def build_stack(
+    stack_cfg: StackConfig,
+    grid: GridSpec,
+    tsv_density: np.ndarray | None = None,
+    dimensions: Dict[str, float] | None = None,
+    r_top_area: float = 2.0e-5,
+    r_bottom_area: float = 1.0e-3,
+    r_bottom_tsv_area: float = 8.0e-5,
+    ambient: float = 293.0,
+    copper_fill_fraction: float = 0.35,
+) -> ThermalStack:
+    """Build the thermal stack for a two-die face-to-back 3D IC.
+
+    ``tsv_density`` is the TSV *footprint* density map between die 0 and
+    die 1 (from ``Floorplan3D.tsv_density``); the copper fraction of a
+    footprint (barrel vs. keep-out) is ``copper_fill_fraction``.
+
+    TSVs act as vertical heat pipes in two ways: they raise the composite
+    conductivity of the bond and thinned-bulk layers they pierce, and —
+    because TSV landing pads stack onto micro-bumps and the package
+    redistribution — they locally strengthen the secondary heat path
+    (per-cell bottom resistance blends ``r_bottom_area`` toward
+    ``r_bottom_tsv_area`` with TSV density).  For stacks with more than
+    two dies the bond/bulk pattern repeats per tier (the paper evaluates
+    two dies; more are supported for future work).
+    """
+    if dimensions is None:
+        dimensions = DEFAULT_DIMENSIONS
+    shape = grid.shape
+    if tsv_density is None:
+        tsv_density = np.zeros(shape)
+    if tsv_density.shape != shape:
+        raise ValueError(
+            f"tsv_density shape {tsv_density.shape} != grid shape {shape}"
+        )
+    copper = np.clip(tsv_density * copper_fill_fraction, 0.0, 1.0)
+
+    layers: List[Layer] = []
+
+    def add_uniform(name: str, material: Material, thickness: float, power_die: int | None = None) -> None:
+        kv, kl, cap = _uniform(material, shape)
+        layers.append(Layer(name, thickness, kv, kl, cap, power_die))
+
+    def add_tsv_layer(name: str, base: Material, thickness: float) -> None:
+        layers.append(
+            Layer(
+                name,
+                thickness,
+                np.asarray(tsv_composite_vertical(base, copper)),
+                np.asarray(tsv_composite_lateral(base, copper)),
+                np.asarray(tsv_composite_capacity(base, copper)),
+            )
+        )
+
+    # bottom die
+    add_uniform("die0_bulk", SILICON, dimensions["bulk_thick"])
+    add_uniform("die0_active", SILICON, dimensions["active"], power_die=0)
+    add_uniform("die0_beol", BEOL, dimensions["beol"])
+    # inter-die interface pierced by TSVs
+    add_tsv_layer("bond01", BOND, dimensions["bond"])
+    add_tsv_layer("die1_bulk", SILICON, dimensions["bulk_thin"])
+    # top die
+    add_uniform("die1_active", SILICON, dimensions["active"], power_die=1)
+    add_uniform("die1_beol", BEOL, dimensions["beol"])
+    # cooling assembly
+    add_uniform("tim", TIM, dimensions["tim"])
+    add_uniform("spreader", COPPER, dimensions["spreader"])
+    add_uniform("sink", COPPER, dimensions["sink"])
+
+    if stack_cfg.num_dies > 2:
+        # additional tiers: repeat (bond, bulk, active, beol) above die1's
+        # BEOL, below the cooling assembly
+        extra: List[Layer] = []
+        for die in range(2, stack_cfg.num_dies):
+            kv, kl, cap = _uniform(BOND, shape)
+            extra.append(Layer(f"bond{die - 1}{die}", dimensions["bond"], kv, kl, cap))
+            kv, kl, cap = _uniform(SILICON, shape)
+            extra.append(Layer(f"die{die}_bulk", dimensions["bulk_thin"], kv, kl, cap))
+            kv, kl, cap = _uniform(SILICON, shape)
+            extra.append(Layer(f"die{die}_active", dimensions["active"], kv, kl, cap, power_die=die))
+            kv, kl, cap = _uniform(BEOL, shape)
+            extra.append(Layer(f"die{die}_beol", dimensions["beol"], kv, kl, cap))
+        cooling = layers[-3:]
+        layers = layers[:-3] + extra + cooling
+
+    # blend the secondary-path resistance toward the micro-bump value in
+    # TSV-dense cells: conductances add in parallel
+    g_cell = (1.0 - tsv_density) / r_bottom_area + tsv_density / r_bottom_tsv_area
+    r_bottom_map = 1.0 / g_cell
+
+    return ThermalStack(
+        grid=grid,
+        layers=layers,
+        r_top_area=r_top_area,
+        r_bottom_area=r_bottom_area,
+        ambient=ambient,
+        r_bottom_map=r_bottom_map,
+    )

@@ -1,0 +1,87 @@
+"""Steady-state thermal solver (the detailed, HotSpot-role analysis).
+
+Solves ``G T = q + B * T_amb`` for the nodal temperatures of the full 3D
+RC network.  The sparse LU factorization is cached so that repeated solves
+over varying power maps — the Gaussian activity sampling of Sec. 6.2 runs
+100 of them — cost one back-substitution each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from ..layout.floorplan import Floorplan3D
+from ..layout.grid import GridSpec
+from .rc_network import ThermalNetwork, assemble
+from .stack import ThermalStack, build_stack
+
+__all__ = ["SteadyStateSolver", "ThermalResult", "solve_floorplan"]
+
+
+@dataclass
+class ThermalResult:
+    """Temperatures of interest from one steady-state solve."""
+
+    #: per-die active-layer temperature maps in K, shape (ny, nx)
+    die_maps: List[np.ndarray]
+    #: full nodal temperature vector (layer-major)
+    nodal: np.ndarray
+
+    @property
+    def peak(self) -> float:
+        return float(max(m.max() for m in self.die_maps))
+
+    def die_map(self, die: int) -> np.ndarray:
+        return self.die_maps[die]
+
+
+class SteadyStateSolver:
+    """Factorized steady-state solver bound to one thermal stack."""
+
+    def __init__(self, stack: ThermalStack) -> None:
+        self.stack = stack
+        self.network: ThermalNetwork = assemble(stack)
+        self._lu = spla.splu(self.network.conductance)
+
+    def solve(self, power_maps: Sequence[np.ndarray]) -> ThermalResult:
+        """Solve for the given per-die power maps (W per cell)."""
+        q = self.network.power_vector(list(power_maps))
+        q = q + self.network.boundary * self.stack.ambient
+        t = self._lu.solve(q)
+        grid = self.stack.grid
+        npl = grid.nx * grid.ny
+        die_maps: List[np.ndarray] = []
+        for layer_idx, die in self.stack.power_layers():
+            block = t[layer_idx * npl : (layer_idx + 1) * npl]
+            die_maps.append(block.reshape(grid.shape).copy())
+        return ThermalResult(die_maps=die_maps, nodal=t)
+
+
+def solve_floorplan(
+    floorplan: Floorplan3D,
+    grid: GridSpec | None = None,
+    activity: Dict[str, float] | None = None,
+    stack_kwargs: Optional[dict] = None,
+    solver: SteadyStateSolver | None = None,
+) -> Tuple[ThermalResult, List[np.ndarray]]:
+    """Detailed thermal analysis of a floorplan.
+
+    Returns ``(thermal result, per-die power maps)``.  When ``solver`` is
+    provided it is reused (its stack must match the floorplan's TSV
+    arrangement — callers that only vary *power* can safely reuse it, as
+    the activity sampler does).
+    """
+    grid = grid or GridSpec(floorplan.stack.outline)
+    power_maps = [
+        floorplan.power_map(d, grid, activity=activity)
+        for d in range(floorplan.stack.num_dies)
+    ]
+    if solver is None:
+        density = floorplan.tsv_density((0, 1), grid)
+        stack = build_stack(floorplan.stack, grid, tsv_density=density, **(stack_kwargs or {}))
+        solver = SteadyStateSolver(stack)
+    return solver.solve(power_maps), power_maps

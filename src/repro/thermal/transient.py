@@ -1,0 +1,111 @@
+"""Transient thermal solver (backward Euler).
+
+Integrates ``C dT/dt = -(G) T + q(t) + B T_amb``.  The implicit step
+``(C/dt + G) T_{n+1} = (C/dt) T_n + q_{n+1}`` is unconditionally stable;
+the step matrix is factorized once per time step size.
+
+This solver backs the Figure 1 reproduction: module activity toggles on a
+nanosecond-to-microsecond scale while the thermal response follows on a
+millisecond-to-second scale — the low-pass behaviour that limits (but does
+not defeat) the thermal side channel (Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .rc_network import ThermalNetwork, assemble
+from .stack import ThermalStack
+
+__all__ = ["TransientSolver", "TransientTrace", "thermal_time_constant"]
+
+
+@dataclass
+class TransientTrace:
+    """Sampled transient response."""
+
+    times: np.ndarray  # (steps,) seconds
+    #: per-die active-layer mean temperature over time, shape (steps, dies)
+    die_means: np.ndarray
+    #: per-die active-layer peak temperature over time, shape (steps, dies)
+    die_peaks: np.ndarray
+
+
+class TransientSolver:
+    """Backward-Euler integrator bound to one thermal stack."""
+
+    def __init__(self, stack: ThermalStack) -> None:
+        self.stack = stack
+        self.network: ThermalNetwork = assemble(stack)
+        self._dt: float | None = None
+        self._lu = None
+
+    def _factorize(self, dt: float) -> None:
+        if self._dt == dt and self._lu is not None:
+            return
+        c_over_dt = sp.diags(self.network.capacitance / dt)
+        self._lu = spla.splu((c_over_dt + self.network.conductance).tocsc())
+        self._dt = dt
+
+    def run(
+        self,
+        power_at: Callable[[float], Sequence[np.ndarray]],
+        duration: float,
+        dt: float,
+        t0: np.ndarray | None = None,
+    ) -> TransientTrace:
+        """Integrate for ``duration`` seconds with step ``dt``.
+
+        ``power_at(t)`` returns the per-die power maps (W/cell) applied
+        during the step ending at time t.  Starts from the ambient
+        temperature unless ``t0`` (a nodal vector) is given.
+        """
+        if duration <= 0 or dt <= 0:
+            raise ValueError("duration and dt must be positive")
+        self._factorize(dt)
+        net = self.network
+        n_steps = int(round(duration / dt))
+        temp = (
+            np.full(net.num_nodes, self.stack.ambient) if t0 is None else t0.copy()
+        )
+        grid = self.stack.grid
+        npl = grid.nx * grid.ny
+        power_layers = self.stack.power_layers()
+        times = np.empty(n_steps)
+        die_means = np.empty((n_steps, len(power_layers)))
+        die_peaks = np.empty((n_steps, len(power_layers)))
+        c_over_dt = net.capacitance / dt
+        for step in range(n_steps):
+            t_now = (step + 1) * dt
+            q = net.power_vector(list(power_at(t_now)))
+            rhs = c_over_dt * temp + q + net.boundary * self.stack.ambient
+            temp = self._lu.solve(rhs)
+            times[step] = t_now
+            for d, (layer_idx, _) in enumerate(power_layers):
+                block = temp[layer_idx * npl : (layer_idx + 1) * npl]
+                die_means[step, d] = block.mean()
+                die_peaks[step, d] = block.max()
+        return TransientTrace(times=times, die_means=die_means, die_peaks=die_peaks)
+
+
+def thermal_time_constant(trace: TransientTrace, die: int = 0) -> float:
+    """Estimate the dominant time constant (s) from a step-response trace.
+
+    Returns the time at which the die-mean temperature reaches 63.2 % of
+    its final rise.  Requires a trace driven by a constant power step.
+    """
+    temps = trace.die_means[:, die]
+    rise = temps - temps[0] + (temps[0] - temps[0])
+    final = temps[-1]
+    start = temps[0]
+    if final <= start:
+        raise ValueError("trace shows no temperature rise; drive it with a power step")
+    target = start + 0.632 * (final - start)
+    idx = int(np.searchsorted(temps, target))
+    idx = min(idx, temps.size - 1)
+    return float(trace.times[idx])

@@ -1,0 +1,16 @@
+"""Timing substrate: Elmore net delays, module delays, DAG path analysis."""
+
+from .delay_model import K_DELAY_NS_PER_UM, ensure_intrinsic_delays, module_delay_ns
+from .elmore import DEFAULT_TECH, WireTechnology, net_delay_ns
+from .paths import TimingGraph, TimingReport
+
+__all__ = [
+    "K_DELAY_NS_PER_UM",
+    "ensure_intrinsic_delays",
+    "module_delay_ns",
+    "DEFAULT_TECH",
+    "WireTechnology",
+    "net_delay_ns",
+    "TimingGraph",
+    "TimingReport",
+]

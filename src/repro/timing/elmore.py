@@ -1,0 +1,76 @@
+"""Elmore delay models for wires and TSVs.
+
+The voltage-assignment stage needs per-net delay estimates "via the
+well-known Elmore delays (here with consideration of wires and TSVs)"
+(Sec. 6.1).  We model each net as a lumped RC line of its 3D HPWL plus
+the R/C of every TSV crossing:
+
+    d_net = R_drv * C_total + 0.5 * R_wire * C_wire + R_tsv_chain * C_after
+
+with per-length parasitics representative of a 90 nm global metal layer.
+Delays are in nanoseconds throughout (matching Table 2's ns scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WireTechnology", "DEFAULT_TECH", "net_delay_ns"]
+
+
+@dataclass(frozen=True)
+class WireTechnology:
+    """Per-unit parasitics of the routing stack and TSVs (90 nm-like)."""
+
+    r_wire_ohm_per_um: float = 0.10
+    c_wire_ff_per_um: float = 0.20
+    r_driver_ohm: float = 200.0
+    c_sink_ff: float = 5.0
+    r_tsv_ohm: float = 0.05
+    c_tsv_ff: float = 50.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "r_wire_ohm_per_um",
+            "c_wire_ff_per_um",
+            "r_driver_ohm",
+            "c_sink_ff",
+            "r_tsv_ohm",
+            "c_tsv_ff",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+
+DEFAULT_TECH = WireTechnology()
+
+
+def net_delay_ns(
+    hpwl_um: float,
+    num_sinks: int,
+    tsv_crossings: int = 0,
+    tech: WireTechnology = DEFAULT_TECH,
+) -> float:
+    """Elmore delay of one net in ns.
+
+    ``hpwl_um`` is the net's planar half-perimeter wirelength;
+    ``tsv_crossings`` the number of die boundaries crossed.  The lumped
+    first-order model is standard for floorplanning-stage estimation — the
+    net topology is unknown before routing.
+    """
+    if hpwl_um < 0 or num_sinks < 0 or tsv_crossings < 0:
+        raise ValueError("net parameters must be non-negative")
+    r_wire = tech.r_wire_ohm_per_um * hpwl_um
+    c_wire = tech.c_wire_ff_per_um * hpwl_um
+    c_sinks = tech.c_sink_ff * max(1, num_sinks)
+    c_tsv = tech.c_tsv_ff * tsv_crossings
+    r_tsv = tech.r_tsv_ohm * tsv_crossings
+    c_total = c_wire + c_sinks + c_tsv
+    # ohm * fF = 1e-15 s = 1e-6 ns
+    delay_fs = (
+        tech.r_driver_ohm * c_total
+        + 0.5 * r_wire * (c_wire + c_tsv)
+        + r_wire * c_sinks
+        + r_tsv * (c_sinks + 0.5 * c_tsv)
+    )
+    return delay_fs * 1e-6

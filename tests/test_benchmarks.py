@@ -1,0 +1,168 @@
+"""Tests for the GSRC parser/writer and the Table 1 synthetic suite."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import (
+    TABLE1,
+    benchmark_names,
+    generate_circuit,
+    load,
+    load_circuit,
+    parse_blocks,
+    parse_nets,
+    parse_pl,
+    parse_power,
+    save_circuit,
+    spec_for,
+)
+from repro.benchmarks.generator import BenchmarkSpec
+from repro.layout.module import ModuleKind
+
+
+class TestGSRCParsing:
+    BLOCKS = """
+UCSC blocks 1.0
+NumSoftRectangularBlocks : 1
+NumHardRectilinearBlocks : 1
+NumTerminals : 2
+
+hb0 hardrectilinear 4 (0, 0) (0, 20) (10, 20) (10, 0)
+sb0 softrectangular 400 0.5 2.0
+
+p0 terminal
+p1 terminal
+"""
+
+    NETS = """
+UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+NetDegree : 2
+hb0 B
+sb0 B
+NetDegree : 3
+sb0 B
+p0 B
+p1 B
+"""
+
+    PL = """
+UCLA pl 1.0
+p0 0 0
+p1 100 100
+"""
+
+    def test_parse_blocks(self):
+        modules, terminals = parse_blocks(self.BLOCKS)
+        assert set(modules) == {"hb0", "sb0"}
+        assert terminals == ["p0", "p1"]
+        assert modules["hb0"].kind == ModuleKind.HARD
+        assert modules["hb0"].width == 10 and modules["hb0"].height == 20
+        assert modules["sb0"].kind == ModuleKind.SOFT
+        assert modules["sb0"].area == pytest.approx(400)
+        assert modules["sb0"].min_aspect == 0.5
+
+    def test_parse_blocks_rejects_rectilinear(self):
+        bad = "b0 hardrectilinear 6 (0,0) (0,2) (1,2) (1,1) (2,1) (2,0)"
+        with pytest.raises(ValueError):
+            parse_blocks(bad)
+
+    def test_parse_nets(self):
+        nets = parse_nets(self.NETS)
+        assert len(nets) == 2
+        assert nets[0].modules == ("hb0", "sb0")
+        assert nets[1].degree == 3
+
+    def test_parse_pl(self):
+        pl = parse_pl(self.PL)
+        assert pl["p1"] == (100.0, 100.0)
+
+    def test_parse_power(self):
+        powers = parse_power("# comment\na 0.5\nb 1.25\n")
+        assert powers == {"a": 0.5, "b": 1.25}
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        circ = generate_circuit(BenchmarkSpec("tiny", 2, 6, 1, 20, 6, 1.0, 2.0))
+        base = tmp_path / "tiny"
+        save_circuit(circ, base)
+        for ext in (".blocks", ".nets", ".pl", ".power"):
+            assert base.with_suffix(ext).exists()
+        loaded = load_circuit(base)
+        assert set(loaded.modules) == set(circ.modules)
+        assert len(loaded.nets) == len(circ.nets)
+        assert set(loaded.terminals) == set(circ.terminals)
+        assert loaded.total_power == pytest.approx(circ.total_power, rel=1e-6)
+        for name, m in circ.modules.items():
+            lm = loaded.modules[name]
+            assert lm.kind == m.kind
+            assert lm.area == pytest.approx(m.area, rel=1e-4)
+
+
+class TestSuite:
+    def test_registry_matches_paper_order(self):
+        assert benchmark_names() == ["n100", "n200", "n300", "ibm01", "ibm03", "ibm07"]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            spec_for("n9999")
+
+    @pytest.mark.parametrize("name", ["n100", "n200", "n300", "ibm01", "ibm03", "ibm07"])
+    def test_table1_properties(self, name):
+        """The synthetic instances must match every Table 1 column."""
+        spec = spec_for(name)
+        circ, stack = load(name)
+        assert len(circ.modules) == spec.num_modules
+        assert circ.num_hard == spec.num_hard
+        assert circ.num_soft == spec.num_soft
+        assert len(circ.nets) <= spec.num_nets  # a few degenerate nets may drop
+        assert len(circ.nets) >= spec.num_nets * 0.95
+        assert len(circ.terminals) == spec.num_terminals
+        assert stack.outline.area == pytest.approx(spec.outline_mm2 * 1e6, rel=1e-9)
+        assert circ.total_power == pytest.approx(spec.total_power_w, rel=1e-6)
+
+    def test_generation_is_deterministic(self):
+        a, _ = load("n100")
+        b, _ = load("n100")
+        assert set(a.modules) == set(b.modules)
+        for name in a.modules:
+            assert a.modules[name].width == b.modules[name].width
+            assert a.modules[name].power == b.modules[name].power
+        assert [n.modules for n in a.nets] == [n.modules for n in b.nets]
+
+    def test_different_benchmarks_differ(self):
+        a, _ = load("n100")
+        b, _ = load("n200")
+        assert len(a.modules) != len(b.modules)
+
+    def test_utilization_is_packable(self):
+        """Total module area must leave packing headroom on two dies."""
+        for name in benchmark_names():
+            circ, stack = load(name)
+            util = circ.total_area / stack.total_area
+            assert 0.3 < util < 0.75, f"{name}: utilization {util:.2f}"
+
+    def test_no_module_dominates_die(self):
+        for name in ("n100", "ibm03"):
+            circ, stack = load(name)
+            biggest = max(m.area for m in circ.modules.values())
+            assert biggest <= stack.outline.area / 3.0 + 1e-6
+
+    def test_intrinsic_delays_present(self):
+        circ, _ = load("n100")
+        assert all(m.intrinsic_delay > 0 for m in circ.modules.values())
+
+    def test_terminals_on_boundary(self):
+        circ, stack = load("n100")
+        o = stack.outline
+        for t in circ.terminals.values():
+            on_x = t.x in (o.x, o.x2) or t.y in (o.y, o.y2)
+            assert on_x, f"terminal {t.name} not on outline edge"
+
+    def test_scaled_copy(self):
+        circ, _ = load("n100")
+        double = circ.scaled(2.0)
+        assert double.total_area == pytest.approx(circ.total_area * 4, rel=1e-9)
+        assert double.total_power == pytest.approx(circ.total_power * 4, rel=1e-9)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flow_defaults(self):
+        args = build_parser().parse_args(["flow", "n100"])
+        assert args.benchmark == "n100"
+        assert args.mode == "power_aware"
+        assert args.iterations == 1500
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "n9999"])
+
+    def test_sweep_multiple(self):
+        args = build_parser().parse_args(["sweep", "n100", "n300", "--runs", "3"])
+        assert args.benchmarks == ["n100", "n300"]
+        assert args.runs == 3
+
+
+class TestCommands:
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("n100", "ibm07"):
+            assert name in out
+
+    def test_explore_small(self, capsys):
+        assert main(["explore", "--grid", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "globally_uniform" in out
+        assert "findings:" in out
+
+    def test_flow_small(self, capsys):
+        assert main([
+            "flow", "n100", "--iterations", "60", "--grid", "16", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "r1=" in out and "power=" in out

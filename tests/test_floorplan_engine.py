@@ -1,0 +1,174 @@
+"""Tests for the cost evaluator, compiled netlist, and annealer."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.generator import BenchmarkSpec, generate_circuit
+from repro.floorplan.annealer import AnnealConfig, AnnealResult, anneal
+from repro.floorplan.objectives import (
+    CompiledNetlist,
+    CostBreakdown,
+    CostEvaluator,
+    FloorplanMode,
+    ObjectiveWeights,
+)
+from repro.floorplan.seqpair import LayoutState
+from repro.layout.die import StackConfig
+from repro.layout.module import Module, Placement
+from repro.layout.net import Net, Terminal
+from repro.layout.floorplan import Floorplan3D
+
+
+@pytest.fixture(scope="module")
+def tiny_circuit():
+    spec = BenchmarkSpec("tiny", 0, 16, 1, 40, 8, 0.25, 1.2, seed=5)
+    circ = generate_circuit(spec)
+    stack = StackConfig(spec.outline)
+    return circ, stack
+
+
+class TestCompiledNetlist:
+    def test_matches_reference_hpwl(self, tiny_circuit):
+        """Vectorized wirelength must equal the reference implementation."""
+        circ, stack = tiny_circuit
+        rng = np.random.default_rng(0)
+        state = LayoutState.initial(circ.modules, stack, rng)
+        fp = state.realize(circ.nets, circ.terminals, place_tsvs=False)
+        ref_wl, ref_cross = fp.wirelength(tsv_length=50.0)
+
+        nl = CompiledNetlist(list(circ.modules), circ.nets, circ.terminals)
+        cx = np.zeros(nl.num_modules)
+        cy = np.zeros(nl.num_modules)
+        dd = np.zeros(nl.num_modules, dtype=np.int64)
+        for name, idx in nl.module_index.items():
+            p = fp.placements[name]
+            cx[idx], cy[idx] = p.center
+            dd[idx] = p.die
+        wl, cross, per_net, per_cross = nl.wirelength(cx, cy, dd, 50.0)
+        assert wl == pytest.approx(ref_wl, rel=1e-9)
+        assert cross == ref_cross
+        assert per_net.shape[0] == nl.num_nets
+
+    def test_empty_netlist(self):
+        nl = CompiledNetlist(["a"], [], {})
+        wl, cross, _, _ = nl.wirelength(np.zeros(1), np.zeros(1), np.zeros(1, dtype=np.int64), 50.0)
+        assert wl == 0.0 and cross == 0
+
+
+class TestWeights:
+    def test_mode_presets(self):
+        pa = ObjectiveWeights.for_mode(FloorplanMode.POWER_AWARE)
+        tsc = ObjectiveWeights.for_mode(FloorplanMode.TSC_AWARE)
+        assert pa.correlation == 0.0 and pa.entropy == 0.0
+        assert tsc.correlation > 0 and tsc.entropy > 0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ObjectiveWeights.for_mode("yolo")
+
+    def test_total_uses_scales(self):
+        bd = CostBreakdown(area=1.0, wirelength=100.0)
+        w = ObjectiveWeights()
+        t1 = bd.total(w, {"wirelength": 100.0, "area": 1.0})
+        t2 = bd.total(w, {"wirelength": 1.0, "area": 1.0})
+        assert t2 > t1
+
+
+class TestCostEvaluator:
+    def test_evaluate_produces_all_terms(self, tiny_circuit):
+        circ, stack = tiny_circuit
+        ev = CostEvaluator(
+            stack, circ.nets, circ.terminals, mode=FloorplanMode.TSC_AWARE,
+            grid_nx=16, grid_ny=16, auto_calibrate=False,
+        )
+        rng = np.random.default_rng(1)
+        state = LayoutState.initial(circ.modules, stack, rng)
+        bd = ev.evaluate(state, force_full=True)
+        assert bd.wirelength > 0
+        assert bd.temperature > 290
+        assert bd.power > 0
+        assert bd.volumes >= 1
+        assert bd.correlation != 0.0
+        assert bd.entropy > 0
+
+    def test_calibration_resets_iteration_clock(self, tiny_circuit):
+        circ, stack = tiny_circuit
+        ev = CostEvaluator(
+            stack, circ.nets, circ.terminals, grid_nx=16, grid_ny=16,
+            auto_calibrate=False,
+        )
+        rng = np.random.default_rng(2)
+        state = LayoutState.initial(circ.modules, stack, rng)
+        scales = ev.calibrate_scales(state, rng, samples=4)
+        assert scales["wirelength"] > 0
+        assert ev.scales["outline"] == 1.0
+
+    def test_die_assignment_term_prefers_hot_on_top(self, tiny_circuit):
+        circ, stack = tiny_circuit
+        ev = CostEvaluator(
+            stack, circ.nets, circ.terminals, grid_nx=16, grid_ny=16,
+            auto_calibrate=False,
+        )
+        rng = np.random.default_rng(3)
+        state = LayoutState.initial(circ.modules, stack, rng, power_biased=True)
+        bd_biased = ev.evaluate(state, force_full=True)
+        # flip all modules to the bottom die -> worse die-assignment term
+        flipped = state.copy()
+        for name in flipped.die_of:
+            flipped.die_of[name] = 0
+        flipped.pairs[0].s1 = list(flipped.modules)
+        flipped.pairs[0].s2 = list(flipped.modules)
+        flipped.pairs[1].s1 = []
+        flipped.pairs[1].s2 = []
+        bd_flipped = ev.evaluate(flipped, force_full=True)
+        assert bd_flipped.die_assignment > bd_biased.die_assignment
+
+
+class TestAnnealer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AnnealConfig(iterations=0)
+        with pytest.raises(ValueError):
+            AnnealConfig(cooling=1.5)
+        with pytest.raises(ValueError):
+            AnnealConfig(initial_acceptance=0.0)
+
+    def test_anneal_improves_over_initial(self, tiny_circuit):
+        circ, stack = tiny_circuit
+        cfg = AnnealConfig(iterations=200, seed=4, calibration_samples=6,
+                           grid_nx=16, grid_ny=16)
+        res = anneal(circ.modules, stack, circ.nets, circ.terminals,
+                     mode=FloorplanMode.POWER_AWARE, config=cfg)
+        assert isinstance(res, AnnealResult)
+        assert res.accepted > 0
+        assert len(res.history) == 200
+        # the outline violation must collapse toward feasibility
+        assert res.breakdown.outline < 0.5
+
+    def test_anneal_reaches_feasibility_small(self, tiny_circuit):
+        circ, stack = tiny_circuit
+        cfg = AnnealConfig(iterations=800, seed=5, calibration_samples=6,
+                           grid_nx=16, grid_ny=16)
+        res = anneal(circ.modules, stack, circ.nets, circ.terminals,
+                     mode=FloorplanMode.POWER_AWARE, config=cfg)
+        assert res.feasible, f"outline violation {res.breakdown.outline}"
+        assert res.floorplan.is_legal
+
+    def test_anneal_deterministic_given_seed(self, tiny_circuit):
+        circ, stack = tiny_circuit
+        cfg = AnnealConfig(iterations=120, seed=9, calibration_samples=4,
+                           grid_nx=16, grid_ny=16)
+        r1 = anneal(circ.modules, stack, circ.nets, circ.terminals, config=cfg)
+        r2 = anneal(circ.modules, stack, circ.nets, circ.terminals, config=cfg)
+        assert r1.cost == pytest.approx(r2.cost)
+        assert {n: p.rect for n, p in r1.floorplan.placements.items()} == {
+            n: p.rect for n, p in r2.floorplan.placements.items()
+        }
+
+    def test_tsc_mode_tracks_leakage_snapshot(self, tiny_circuit):
+        circ, stack = tiny_circuit
+        cfg = AnnealConfig(iterations=300, seed=6, calibration_samples=6,
+                           grid_nx=16, grid_ny=16, thermal_every=2)
+        res = anneal(circ.modules, stack, circ.nets, circ.terminals,
+                     mode=FloorplanMode.TSC_AWARE, config=cfg)
+        assert res.breakdown.correlation != 0.0 or res.best_leakage is not None

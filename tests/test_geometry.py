@@ -1,0 +1,198 @@
+"""Unit and property tests for repro.layout.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.geometry import (
+    Point,
+    Rect,
+    bounding_box,
+    cross_manhattan_sum,
+    pairwise_manhattan_sum,
+    rects_overlap,
+    total_overlap_area,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+def rect_strategy():
+    return st.builds(Rect, finite, finite, positive, positive)
+
+
+class TestPoint:
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+
+    def test_euclidean(self):
+        assert Point(0, 0).euclidean_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+    @given(finite, finite, finite, finite)
+    def test_manhattan_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.manhattan_to(b) == pytest.approx(b.manhattan_to(a))
+
+    @given(finite, finite, finite, finite)
+    def test_euclidean_le_manhattan(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.euclidean_to(b) <= a.manhattan_to(b) + 1e-9
+
+
+class TestRect:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, -1)
+
+    def test_derived_coordinates(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.x2 == 4 and r.y2 == 6
+        assert r.area == 12
+        assert r.center.as_tuple() == (2.5, 4.0)
+        assert r.aspect_ratio == pytest.approx(0.75)
+
+    def test_degenerate_aspect(self):
+        assert Rect(0, 0, 1, 0).aspect_ratio == math.inf
+
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(2, 2)
+        assert not r.contains_point(2.01, 1)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 5, 5))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(6, 6, 5, 5))
+
+    def test_overlap_open_vs_closed(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 1, 1)  # shares an edge
+        assert not a.overlaps(b)
+        assert a.touches_or_overlaps(b)
+
+    def test_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 4, 4)
+        inter = a.intersection(b)
+        assert inter == Rect(2, 2, 2, 2)
+        assert a.intersection(Rect(10, 10, 1, 1)) is None
+
+    def test_overlap_area(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.overlap_area(Rect(2, 2, 4, 4)) == 4.0
+        assert a.overlap_area(Rect(4, 0, 1, 1)) == 0.0
+
+    def test_union_bbox(self):
+        u = Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 1, 1))
+        assert u == Rect(0, 0, 6, 6)
+
+    def test_moves_and_rotation(self):
+        r = Rect(1, 1, 2, 3)
+        assert r.moved_to(0, 0) == Rect(0, 0, 2, 3)
+        assert r.translated(1, -1) == Rect(2, 0, 2, 3)
+        assert r.rotated() == Rect(1, 1, 3, 2)
+
+    def test_inflated_clips_at_zero(self):
+        r = Rect(0, 0, 1, 1).inflated(-2)
+        assert r.w == 0 and r.h == 0
+
+    def test_distance_to(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.distance_to(Rect(3, 0, 1, 1)) == 2.0
+        assert a.distance_to(Rect(3, 4, 1, 1)) == 2.0 + 3.0
+        assert a.distance_to(Rect(0.5, 0.5, 1, 1)) == 0.0
+
+    @given(rect_strategy(), rect_strategy())
+    @settings(max_examples=60)
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    @given(rect_strategy(), rect_strategy())
+    @settings(max_examples=60)
+    def test_intersection_consistent_with_area(self, a, b):
+        inter = a.intersection(b)
+        if inter is None:
+            assert a.overlap_area(b) == pytest.approx(0.0, abs=1e-9)
+        else:
+            assert inter.area == pytest.approx(a.overlap_area(b), rel=1e-9)
+            assert a.contains_rect(inter) or inter.area <= a.area
+
+    @given(rect_strategy())
+    @settings(max_examples=60)
+    def test_union_bbox_contains_both(self, a):
+        b = a.translated(5, 5)
+        u = a.union_bbox(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+
+class TestCollections:
+    def test_bounding_box(self):
+        bb = bounding_box([Rect(0, 0, 1, 1), Rect(4, 5, 1, 1)])
+        assert bb == Rect(0, 0, 5, 6)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_rects_overlap_detects(self):
+        assert rects_overlap([Rect(0, 0, 2, 2), Rect(1, 1, 2, 2)])
+        assert not rects_overlap([Rect(0, 0, 1, 1), Rect(1, 0, 1, 1), Rect(0, 1, 1, 1)])
+
+    def test_total_overlap_area(self):
+        rects = [Rect(0, 0, 2, 2), Rect(1, 1, 2, 2), Rect(10, 10, 1, 1)]
+        assert total_overlap_area(rects) == pytest.approx(1.0)
+
+    @given(st.lists(rect_strategy(), min_size=2, max_size=12))
+    @settings(max_examples=40)
+    def test_total_overlap_matches_bruteforce(self, rects):
+        brute = sum(
+            rects[i].overlap_area(rects[j])
+            for i in range(len(rects))
+            for j in range(i + 1, len(rects))
+        )
+        assert total_overlap_area(rects) == pytest.approx(brute, rel=1e-9, abs=1e-6)
+
+
+class TestManhattanSums:
+    def test_pairwise_known(self):
+        # |1-2| + |1-4| + |2-4| = 1 + 3 + 2 = 6
+        assert pairwise_manhattan_sum(np.array([1.0, 2.0, 4.0])) == pytest.approx(6.0)
+
+    def test_pairwise_trivial(self):
+        assert pairwise_manhattan_sum(np.array([])) == 0.0
+        assert pairwise_manhattan_sum(np.array([3.0])) == 0.0
+
+    def test_cross_known(self):
+        # pairs (1,2),(1,3),(5,2),(5,3) -> 1+2+3+2 = 8
+        assert cross_manhattan_sum(np.array([1.0, 5.0]), np.array([2.0, 3.0])) == pytest.approx(8.0)
+
+    @given(st.lists(finite, min_size=2, max_size=40))
+    @settings(max_examples=40)
+    def test_pairwise_matches_bruteforce(self, vals):
+        xs = np.array(vals)
+        brute = sum(
+            abs(xs[i] - xs[j]) for i in range(len(xs)) for j in range(i + 1, len(xs))
+        )
+        assert pairwise_manhattan_sum(xs) == pytest.approx(brute, rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(finite, min_size=1, max_size=20),
+        st.lists(finite, min_size=1, max_size=20),
+    )
+    @settings(max_examples=40)
+    def test_cross_matches_bruteforce(self, a, b):
+        xa, xb = np.array(a), np.array(b)
+        brute = sum(abs(x - y) for x in xa for y in xb)
+        assert cross_manhattan_sum(xa, xb) == pytest.approx(brute, rel=1e-9, abs=1e-6)

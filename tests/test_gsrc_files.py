@@ -1,0 +1,105 @@
+"""Edge-case tests for GSRC file handling and the circuit container."""
+
+import pytest
+
+from repro.benchmarks.gsrc import (
+    BenchmarkCircuit,
+    load_circuit,
+    parse_blocks,
+    parse_nets,
+    parse_pl,
+    save_circuit,
+    write_blocks,
+    write_nets,
+)
+from repro.layout.module import Module, ModuleKind
+from repro.layout.net import Net, Terminal
+
+
+class TestParserEdgeCases:
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+# a comment
+UCSC blocks 1.0
+
+b0 hardrectilinear 4 (0,0) (0,5) (5,5) (5,0)   # trailing comment
+"""
+        modules, terms = parse_blocks(text)
+        assert list(modules) == ["b0"]
+        assert terms == []
+
+    def test_header_counts_skipped(self):
+        text = "NumHardRectilinearBlocks : 3\nb0 hardrectilinear 4 (0,0) (0,1) (1,1) (1,0)"
+        modules, _ = parse_blocks(text)
+        assert len(modules) == 1
+
+    def test_scientific_notation_coordinates(self):
+        text = "b0 hardrectilinear 4 (0,0) (0,1e2) (2.5e1,1e2) (2.5e1,0)"
+        modules, _ = parse_blocks(text)
+        assert modules["b0"].width == pytest.approx(25.0)
+        assert modules["b0"].height == pytest.approx(100.0)
+
+    def test_nets_with_missing_pins_truncated(self):
+        text = "NetDegree : 3\na B\nb B"
+        nets = parse_nets(text)
+        # degree promised 3 but only 2 pins followed; net still formed
+        assert len(nets) == 1
+        assert nets[0].degree == 2
+
+    def test_single_pin_net_dropped(self):
+        text = "NetDegree : 1\na B\nNetDegree : 2\nb B\nc B"
+        nets = parse_nets(text)
+        assert len(nets) == 1
+        assert nets[0].modules == ("b", "c")
+
+    def test_pl_with_garbage_lines(self):
+        text = "UCLA pl 1.0\np0 10 20\nnot a position line\np1 30 40 more stuff"
+        pl = parse_pl(text)
+        assert pl == {"p0": (10.0, 20.0), "p1": (30.0, 40.0)}
+
+
+class TestWriters:
+    def test_write_blocks_roundtrip_kinds(self):
+        modules = {
+            "h": Module("h", 10, 20, kind=ModuleKind.HARD),
+            "s": Module("s", 15, 15, kind=ModuleKind.SOFT, min_aspect=0.5, max_aspect=2.0),
+        }
+        text = write_blocks(modules, ["p0"])
+        parsed, terms = parse_blocks(text)
+        assert parsed["h"].kind == ModuleKind.HARD
+        assert parsed["s"].kind == ModuleKind.SOFT
+        assert parsed["s"].area == pytest.approx(225.0)
+        assert terms == ["p0"]
+
+    def test_write_nets_roundtrip(self):
+        nets = [Net("n0", ("a", "b"), ("p0",))]
+        parsed = parse_nets(write_nets(nets))
+        assert parsed[0].degree == 3
+
+    def test_terminal_only_nets_preserved_via_load(self, tmp_path):
+        circ = BenchmarkCircuit(
+            name="t",
+            modules={"a": Module("a", 10, 10), "b": Module("b", 10, 10)},
+            nets=[Net("n0", ("a", "b"))],
+            terminals={"p0": Terminal("p0", 0, 0)},
+        )
+        save_circuit(circ, tmp_path / "t")
+        loaded = load_circuit(tmp_path / "t")
+        assert len(loaded.nets) == 1
+
+
+class TestCircuitContainer:
+    def test_counts(self):
+        circ = BenchmarkCircuit(
+            name="c",
+            modules={
+                "h": Module("h", 1, 1, kind=ModuleKind.HARD, power=0.25),
+                "s": Module("s", 2, 2, kind=ModuleKind.SOFT, power=0.75),
+            },
+            nets=[],
+            terminals={},
+        )
+        assert circ.num_hard == 1
+        assert circ.num_soft == 1
+        assert circ.total_area == pytest.approx(5.0)
+        assert circ.total_power == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Tests for Gaussian activity sampling and dummy-TSV insertion."""
+
+import numpy as np
+import pytest
+
+from repro.layout.die import StackConfig
+from repro.layout.floorplan import Floorplan3D
+from repro.layout.grid import GridSpec
+from repro.layout.module import Module, Placement
+from repro.layout.tsv import TSVKind
+from repro.mitigation.activity import ActivitySampler, sample_power_maps
+from repro.mitigation.dummy_tsv import MitigationConfig, insert_dummy_tsvs
+
+
+def _hotspot_floorplan():
+    """Two dies; die 0 carries a strong localized power imbalance."""
+    mods = {
+        "hot": Module("hot", 300, 300, power=3.0),
+        "warm": Module("warm", 300, 300, power=0.6),
+        "cool1": Module("cool1", 300, 300, power=0.2),
+        "cool2": Module("cool2", 300, 300, power=0.2),
+        "top1": Module("top1", 400, 400, power=1.0),
+        "top2": Module("top2", 400, 400, power=0.9),
+    }
+    placements = {
+        "hot": Placement(mods["hot"], 650, 650, die=0),
+        "warm": Placement(mods["warm"], 50, 50, die=0),
+        "cool1": Placement(mods["cool1"], 50, 650, die=0),
+        "cool2": Placement(mods["cool2"], 650, 50, die=0),
+        "top1": Placement(mods["top1"], 50, 50, die=1),
+        "top2": Placement(mods["top2"], 550, 550, die=1),
+    }
+    stack = StackConfig.square(1000.0)
+    return Floorplan3D(stack, placements)
+
+
+class TestActivitySampler:
+    def test_mean_near_one(self):
+        s = ActivitySampler(["a", "b", "c"], sigma=0.1, seed=1)
+        samples = [s.sample() for _ in range(300)]
+        vals = np.array([[x[n] for n in ("a", "b", "c")] for x in samples])
+        assert vals.mean() == pytest.approx(1.0, abs=0.02)
+        assert vals.std() == pytest.approx(0.1, abs=0.02)
+
+    def test_nonnegative(self):
+        s = ActivitySampler(["a"], sigma=2.0, seed=2)
+        assert all(s.sample()["a"] >= 0.0 for _ in range(200))
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            ActivitySampler(["a"], sigma=-0.1)
+
+    def test_zero_sigma_deterministic(self):
+        s = ActivitySampler(["a"], sigma=0.0)
+        assert s.sample()["a"] == 1.0
+
+    def test_sample_power_maps_shapes(self):
+        fp = _hotspot_floorplan()
+        grid = GridSpec(fp.stack.outline, 8, 8)
+        sets = sample_power_maps(fp, grid, count=5, seed=3)
+        assert len(sets) == 5
+        assert all(len(s) == 2 for s in sets)
+        assert all(m.shape == (8, 8) for s in sets for m in s)
+
+    def test_sample_power_maps_vary(self):
+        fp = _hotspot_floorplan()
+        grid = GridSpec(fp.stack.outline, 8, 8)
+        sets = sample_power_maps(fp, grid, count=3, seed=4)
+        assert not np.allclose(sets[0][0], sets[1][0])
+
+
+class TestDummyTSVInsertion:
+    def test_insertion_reduces_correlation(self):
+        fp = _hotspot_floorplan()
+        cfg = MitigationConfig(samples=20, tsvs_per_round=6, max_rounds=4,
+                               grid_nx=12, grid_ny=12, seed=1)
+        report = insert_dummy_tsvs(fp, cfg)
+        assert report.final_correlation <= report.initial_correlation + 1e-9
+        if report.inserted > 0:
+            assert report.final_correlation < report.initial_correlation
+
+    def test_inserted_tsvs_are_thermal(self):
+        fp = _hotspot_floorplan()
+        cfg = MitigationConfig(samples=15, tsvs_per_round=4, max_rounds=2,
+                               grid_nx=12, grid_ny=12, seed=2)
+        report = insert_dummy_tsvs(fp, cfg)
+        for t in report.floorplan.thermal_tsvs:
+            assert t.kind == TSVKind.THERMAL
+        assert len(report.floorplan.thermal_tsvs) == report.inserted
+
+    def test_original_floorplan_untouched(self):
+        fp = _hotspot_floorplan()
+        n_before = len(fp.tsvs)
+        cfg = MitigationConfig(samples=10, tsvs_per_round=4, max_rounds=1,
+                               grid_nx=12, grid_ny=12)
+        insert_dummy_tsvs(fp, cfg)
+        assert len(fp.tsvs) == n_before
+
+    def test_sweet_spot_stops_insertion(self):
+        """The loop must stop before max_rounds when correlation stops
+        improving (the paper's stop criterion)."""
+        fp = _hotspot_floorplan()
+        cfg = MitigationConfig(samples=15, tsvs_per_round=8, max_rounds=12,
+                               grid_nx=12, grid_ny=12, seed=3)
+        report = insert_dummy_tsvs(fp, cfg)
+        # trace is strictly decreasing by construction
+        diffs = np.diff(report.correlation_trace)
+        assert np.all(diffs < 0) or len(report.correlation_trace) == 1
+        assert report.rounds <= 12
+
+    def test_correlation_trace_starts_with_initial(self):
+        fp = _hotspot_floorplan()
+        cfg = MitigationConfig(samples=10, tsvs_per_round=4, max_rounds=1,
+                               grid_nx=12, grid_ny=12)
+        report = insert_dummy_tsvs(fp, cfg)
+        assert report.initial_correlation == report.correlation_trace[0]
+        assert len(report.final_correlations) == 2
+
+    def test_target_die_selection(self):
+        fp = _hotspot_floorplan()
+        cfg = MitigationConfig(samples=10, tsvs_per_round=4, max_rounds=2,
+                               grid_nx=12, grid_ny=12, target_die=0)
+        report = insert_dummy_tsvs(fp, cfg)
+        assert report.correlation_trace[0] > 0

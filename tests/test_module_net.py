@@ -1,0 +1,134 @@
+"""Tests for modules, placements, nets, and terminals."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.module import Module, ModuleKind, Placement
+from repro.layout.net import Net, Terminal, net_hpwl_3d, total_hpwl
+
+
+class TestModule:
+    def test_basic_properties(self):
+        m = Module("a", 10, 20, power=0.5)
+        assert m.area == 200
+        assert m.power_density == pytest.approx(0.0025)
+        assert not m.is_soft
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Module("a", 0, 1)
+        with pytest.raises(ValueError):
+            Module("a", 1, 1, power=-1)
+        with pytest.raises(ValueError):
+            Module("a", 1, 1, kind="squishy")
+        with pytest.raises(ValueError):
+            Module("a", 1, 1, min_aspect=2, max_aspect=1)
+
+    def test_reshape_preserves_area(self):
+        m = Module("s", 10, 10, kind=ModuleKind.SOFT)
+        r = m.reshaped(2.0)
+        assert r.area == pytest.approx(100.0)
+        assert r.width / r.height == pytest.approx(2.0)
+
+    def test_reshape_hard_rejected(self):
+        with pytest.raises(ValueError):
+            Module("h", 10, 10).reshaped(2.0)
+
+    def test_reshape_out_of_range_rejected(self):
+        m = Module("s", 10, 10, kind=ModuleKind.SOFT, min_aspect=0.5, max_aspect=2.0)
+        with pytest.raises(ValueError):
+            m.reshaped(3.0)
+
+    def test_scaled_preserves_power_density(self):
+        m = Module("a", 10, 20, power=1.0)
+        s = m.scaled(10.0)
+        assert s.width == 100 and s.height == 200
+        assert s.power_density == pytest.approx(m.power_density)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            Module("a", 1, 1).scaled(0)
+
+    @given(st.floats(min_value=0.4, max_value=2.5))
+    @settings(max_examples=30)
+    def test_reshape_area_invariant(self, aspect):
+        m = Module("s", 12, 12, kind=ModuleKind.SOFT)
+        r = m.reshaped(aspect)
+        assert r.area == pytest.approx(m.area, rel=1e-9)
+
+
+class TestPlacement:
+    def test_rotation_swaps_dimensions(self):
+        m = Module("a", 10, 20)
+        p = Placement(m, 0, 0, die=0, rotated=True)
+        assert p.width == 20 and p.height == 10
+        assert p.rect.w == 20
+
+    def test_center(self):
+        p = Placement(Module("a", 10, 20), 5, 5, die=1)
+        assert p.center == (10.0, 15.0)
+
+    def test_with_voltage(self):
+        p = Placement(Module("a", 1, 1), 0, 0, die=0)
+        q = p.with_voltage(0.8)
+        assert q.voltage == 0.8 and p.voltage == 1.0
+
+    def test_moved(self):
+        p = Placement(Module("a", 1, 1), 0, 0, die=0)
+        assert p.moved(3, 4).rect.x == 3
+
+
+class TestNet:
+    def test_degree_and_driver(self):
+        n = Net("n", ("a", "b"), ("t",))
+        assert n.degree == 3
+        assert n.driver == "a"
+        assert n.sinks == ("b",)
+
+    def test_too_few_pins_rejected(self):
+        with pytest.raises(ValueError):
+            Net("n", ("a",))
+
+    def test_terminal_only_net_allowed(self):
+        n = Net("n", (), ("t1", "t2"))
+        assert n.driver is None
+
+
+class TestHPWL:
+    def _placements(self):
+        return {
+            "a": Placement(Module("a", 10, 10), 0, 0, die=0),
+            "b": Placement(Module("b", 10, 10), 90, 0, die=0),
+            "c": Placement(Module("c", 10, 10), 0, 90, die=1),
+        }
+
+    def test_planar_hpwl(self):
+        wl, crossings = net_hpwl_3d(
+            Net("n", ("a", "b")), self._placements(), {}, tsv_length=50
+        )
+        assert wl == pytest.approx(90.0)  # centers at x=5 and x=95
+        assert crossings == 0
+
+    def test_crossing_adds_tsv_length(self):
+        wl, crossings = net_hpwl_3d(
+            Net("n", ("a", "c")), self._placements(), {}, tsv_length=50
+        )
+        assert crossings == 1
+        assert wl == pytest.approx(90.0 + 50.0)
+
+    def test_terminal_extends_bbox(self):
+        terms = {"t": Terminal("t", 200.0, 5.0)}
+        wl, _ = net_hpwl_3d(
+            Net("n", ("a",), ("t",)), self._placements(), terms, tsv_length=50
+        )
+        assert wl == pytest.approx(195.0)
+
+    def test_total_hpwl_sums(self):
+        p = self._placements()
+        nets = [Net("n1", ("a", "b")), Net("n2", ("a", "c"))]
+        total, crossings = total_hpwl(nets, p, {}, tsv_length=50)
+        assert total == pytest.approx(90.0 + 140.0)
+        assert crossings == 1

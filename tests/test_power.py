@@ -1,0 +1,191 @@
+"""Tests for voltage levels, volume growth, and assignment objectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.die import StackConfig
+from repro.layout.floorplan import Floorplan3D
+from repro.layout.module import Module, Placement
+from repro.power.assignment import AssignmentObjective, assign_voltages
+from repro.power.voltages import (
+    DEFAULT_LEVELS,
+    VoltageLevel,
+    delay_scale_for,
+    feasible_voltages,
+    power_scale_for,
+)
+from repro.power.volumes import grow_volumes, module_adjacency
+
+
+class TestVoltageLevels:
+    def test_paper_values(self):
+        """The 90 nm scaling triplets are used verbatim (Sec. 7)."""
+        assert power_scale_for(0.8) == pytest.approx(0.817)
+        assert delay_scale_for(0.8) == pytest.approx(1.56)
+        assert power_scale_for(1.0) == 1.0
+        assert delay_scale_for(1.0) == 1.0
+        assert power_scale_for(1.2) == pytest.approx(1.496)
+        assert delay_scale_for(1.2) == pytest.approx(0.83)
+
+    def test_interpolation_monotone(self):
+        vs = np.linspace(0.8, 1.2, 9)
+        ps = [power_scale_for(float(v)) for v in vs]
+        ds = [delay_scale_for(float(v)) for v in vs]
+        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(ds, ds[1:]))
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            VoltageLevel(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            VoltageLevel(1.0, -1.0, 1.0)
+
+    def test_feasible_voltages_no_slack(self):
+        """Without slack only the >= 1.0 V options remain."""
+        feas = feasible_voltages(1.0)
+        volts = [lv.volts for lv in feas]
+        assert 0.8 not in volts
+        assert 1.0 in volts and 1.2 in volts
+
+    def test_feasible_voltages_with_slack(self):
+        feas = feasible_voltages(1.6)
+        assert 0.8 in [lv.volts for lv in feas]
+
+    @given(st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=30)
+    def test_reference_always_feasible(self, slack):
+        assert any(lv.volts == 1.0 for lv in feasible_voltages(slack))
+
+
+def _grid_floorplan(nx=3, ny=3, sep=0.0, power=None):
+    """A grid of touching 100x100 modules on die 0 (plus one on die 1)."""
+    mods = {}
+    placements = {}
+    rng = np.random.default_rng(0)
+    for j in range(ny):
+        for i in range(nx):
+            name = f"m{j}{i}"
+            p = power if power is not None else float(rng.uniform(0.1, 1.0))
+            mods[name] = Module(name, 100, 100, power=p, intrinsic_delay=0.2)
+            placements[name] = Placement(mods[name], i * (100 + sep), j * (100 + sep), die=0)
+    mods["top"] = Module("top", 100, 100, power=0.5, intrinsic_delay=0.2)
+    placements["top"] = Placement(mods["top"], 0, 0, die=1)
+    stack = StackConfig.square(1000.0)
+    return Floorplan3D(stack, placements)
+
+
+class TestAdjacency:
+    def test_touching_modules_adjacent(self):
+        fp = _grid_floorplan()
+        adj = module_adjacency(fp)
+        assert "m01" in adj["m00"]
+        assert "m10" in adj["m00"]
+        assert "m11" not in adj["m00"] or True  # diagonal contact allowed via corner
+
+    def test_separated_modules_not_adjacent(self):
+        fp = _grid_floorplan(sep=50.0)
+        adj = module_adjacency(fp)
+        assert "m01" not in adj["m00"]
+
+    def test_cross_die_overlap_adjacent(self):
+        fp = _grid_floorplan()
+        adj = module_adjacency(fp)
+        # "top" overlaps m00's footprint on the adjacent die
+        assert "m00" in adj["top"]
+        assert "top" in adj["m00"]
+
+
+class TestGrowVolumes:
+    def test_singletons_always_present(self):
+        fp = _grid_floorplan()
+        inflation = {n: 1.0 for n in fp.placements}
+        vols = grow_volumes(fp, inflation)
+        singles = [v for v in vols if v.size == 1]
+        assert len(singles) == len(fp.placements)
+
+    def test_growth_with_slack(self):
+        fp = _grid_floorplan()
+        inflation = {n: 2.0 for n in fp.placements}
+        vols = grow_volumes(fp, inflation)
+        assert any(v.size > 4 for v in vols)
+        # with generous slack all three levels stay feasible
+        big = max(vols, key=lambda v: v.size)
+        assert len(big.feasible) == 3
+
+    def test_feasible_intersection_shrinks(self):
+        fp = _grid_floorplan()
+        inflation = {n: (2.0 if n != "m11" else 1.0) for n in fp.placements}
+        vols = grow_volumes(fp, inflation)
+        for v in vols:
+            if "m11" in v.members:
+                assert all(lv.volts >= 1.0 for lv in v.feasible)
+
+    def test_max_size_respected(self):
+        fp = _grid_floorplan()
+        inflation = {n: 2.0 for n in fp.placements}
+        vols = grow_volumes(fp, inflation, max_volume_size=3)
+        assert max(v.size for v in vols) <= 3
+
+
+class TestAssignment:
+    def test_all_modules_covered(self):
+        fp = _grid_floorplan()
+        inflation = {n: 1.6 for n in fp.placements}
+        for objective in (AssignmentObjective.POWER_AWARE, AssignmentObjective.TSC_AWARE):
+            res = assign_voltages(fp, inflation, objective=objective)
+            assert set(res.voltages) == set(fp.placements)
+            covered = set()
+            for v in res.volumes:
+                assert not (covered & v.members), "volumes must be disjoint"
+                covered |= v.members
+            assert covered == set(fp.placements)
+
+    def test_power_aware_reduces_power(self):
+        fp = _grid_floorplan()
+        inflation = {n: 1.6 for n in fp.placements}
+        res = assign_voltages(fp, inflation, objective=AssignmentObjective.POWER_AWARE)
+        assert res.power_w(fp) < fp.total_power() + 1e-12
+        assert any(v == 0.8 for v in res.voltages.values())
+
+    def test_no_slack_no_undervolting(self):
+        fp = _grid_floorplan()
+        inflation = {n: 1.0 for n in fp.placements}
+        res = assign_voltages(fp, inflation, objective=AssignmentObjective.POWER_AWARE)
+        assert all(v >= 1.0 for v in res.voltages.values())
+
+    def test_tsc_aware_flattens_density(self):
+        """TSC assignment must reduce the spread of power densities."""
+        rng = np.random.default_rng(3)
+        mods, placements = {}, {}
+        for j in range(4):
+            for i in range(4):
+                name = f"m{j}{i}"
+                p = float(rng.choice([0.1, 0.9]))
+                mods[name] = Module(name, 100, 100, power=p, intrinsic_delay=0.2)
+                placements[name] = Placement(mods[name], i * 100, j * 100, die=0)
+        stack = StackConfig.square(1000.0)
+        fp = Floorplan3D(stack, placements)
+        inflation = {n: 1.6 for n in placements}
+        res = assign_voltages(fp, inflation, objective=AssignmentObjective.TSC_AWARE)
+        from repro.power.voltages import power_scale_for as ps
+
+        before = np.array([m.power / m.area for m in mods.values()])
+        after = np.array(
+            [mods[n].power * ps(res.voltages[n]) / mods[n].area for n in mods]
+        )
+        assert after.std() / after.mean() <= before.std() / before.mean() + 1e-9
+
+    def test_tsc_aware_more_volumes_than_pa(self):
+        """The paper's Table 2: TSC needs notably more voltage volumes."""
+        fp = _grid_floorplan(nx=4, ny=4)
+        inflation = {n: 1.6 for n in fp.placements}
+        pa = assign_voltages(fp, inflation, objective=AssignmentObjective.POWER_AWARE)
+        tsc = assign_voltages(fp, inflation, objective=AssignmentObjective.TSC_AWARE)
+        assert tsc.num_volumes >= pa.num_volumes
+
+    def test_unknown_objective_rejected(self):
+        fp = _grid_floorplan()
+        with pytest.raises(ValueError):
+            assign_voltages(fp, {}, objective="fastest")

@@ -1,0 +1,104 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.leakage.entropy import nested_means_classes, spatial_entropy
+from repro.leakage.pearson import pearson
+from repro.leakage.stability import stability_map
+from repro.power.voltages import delay_scale_for, feasible_voltages, power_scale_for
+from repro.timing.elmore import net_delay_ns
+
+
+small_maps = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(3, 10), st.integers(3, 10)),
+    elements=st.floats(0, 100, allow_nan=False),
+)
+
+
+class TestLeakageProperties:
+    @given(small_maps)
+    @settings(max_examples=40, deadline=None)
+    def test_entropy_nonnegative_and_finite(self, pm):
+        s = spatial_entropy(pm)
+        assert np.isfinite(s)
+        assert s >= 0.0
+
+    @given(small_maps)
+    @settings(max_examples=40, deadline=None)
+    def test_entropy_invariant_to_scaling(self, pm):
+        """Classes come from nested means: positive scaling preserves
+        the partition, hence the entropy."""
+        s1 = spatial_entropy(pm)
+        s2 = spatial_entropy(pm * 3.7)
+        assert s1 == pytest.approx(s2, rel=1e-9, abs=1e-9)
+
+    @given(small_maps)
+    @settings(max_examples=40, deadline=None)
+    def test_nested_means_labels_dense(self, pm):
+        labels = nested_means_classes(pm)
+        unique = np.unique(labels)
+        assert unique.min() == 0
+        assert np.array_equal(unique, np.arange(unique.size))
+
+    @given(st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_stability_bounded(self, m, seed):
+        rng = np.random.default_rng(seed)
+        ps = [rng.random((4, 4)) for _ in range(m)]
+        ts = [rng.random((4, 4)) for _ in range(m)]
+        s = stability_map(ps, ts)
+        assert np.all(s <= 1.0 + 1e-9)
+        assert np.all(s >= -1.0 - 1e-9)
+
+    @given(
+        hnp.arrays(np.float64, (16,), elements=st.floats(-1e3, 1e3)),
+        st.floats(min_value=0.1, max_value=100),
+        st.floats(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=40)
+    def test_pearson_affine_invariance(self, a, scale, shift):
+        b = np.linspace(0, 1, 16)
+        r1 = pearson(a, b)
+        r2 = pearson(a * scale + shift, b)
+        assert r1 == pytest.approx(r2, abs=1e-9)
+
+
+class TestVoltageProperties:
+    @given(st.floats(min_value=0.8, max_value=1.2))
+    @settings(max_examples=40)
+    def test_power_delay_tradeoff(self, volts):
+        """Higher supply: more power, less delay — always."""
+        p, d = power_scale_for(volts), delay_scale_for(volts)
+        p_hi, d_hi = power_scale_for(min(1.2, volts + 0.05)), delay_scale_for(
+            min(1.2, volts + 0.05)
+        )
+        assert p_hi >= p - 1e-12
+        assert d_hi <= d + 1e-12
+
+    @given(st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=40)
+    def test_feasible_set_monotone_in_slack(self, slack):
+        """More slack never shrinks the feasible voltage set."""
+        smaller = {lv.volts for lv in feasible_voltages(slack)}
+        larger = {lv.volts for lv in feasible_voltages(slack + 0.5)}
+        assert smaller <= larger
+
+
+class TestElmoreProperties:
+    @given(
+        st.floats(min_value=0, max_value=5e4),
+        st.floats(min_value=0, max_value=5e4),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_monotone_in_all_arguments(self, l1, dl, sinks, tsvs):
+        base = net_delay_ns(l1, sinks, tsvs)
+        assert net_delay_ns(l1 + dl, sinks, tsvs) >= base - 1e-15
+        assert net_delay_ns(l1, sinks + 1, tsvs) >= base - 1e-15
+        assert net_delay_ns(l1, sinks, tsvs + 1) >= base - 1e-15

@@ -1,0 +1,65 @@
+"""Round-trip tests for floorplan JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.generator import BenchmarkSpec, generate_circuit
+from repro.floorplan.seqpair import LayoutState
+from repro.layout.die import StackConfig
+from repro.layout.serialize import (
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_floorplan,
+    save_floorplan,
+)
+from repro.layout.tsv import TSV, TSVKind
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    spec = BenchmarkSpec("ser", 1, 9, 1, 25, 6, 0.09, 0.8, seed=3)
+    circ = generate_circuit(spec)
+    stack = StackConfig(spec.outline)
+    state = LayoutState.initial(circ.modules, stack, np.random.default_rng(0))
+    fp = state.realize(circ.nets, circ.terminals)
+    fp.tsvs.append(TSV(100, 100, 0, 1, kind=TSVKind.THERMAL))
+    fp = fp.with_voltages({name: 0.8 for name in list(fp.placements)[:3]})
+    return fp
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, floorplan):
+        clone = floorplan_from_dict(floorplan_to_dict(floorplan))
+        assert set(clone.placements) == set(floorplan.placements)
+        for name, p in floorplan.placements.items():
+            q = clone.placements[name]
+            assert q.rect == p.rect
+            assert q.die == p.die
+            assert q.voltage == p.voltage
+            assert q.module.power == pytest.approx(p.module.power)
+        assert len(clone.nets) == len(floorplan.nets)
+        assert set(clone.terminals) == set(floorplan.terminals)
+        assert len(clone.tsvs) == len(floorplan.tsvs)
+        assert clone.stack.outline == floorplan.stack.outline
+
+    def test_metrics_survive_roundtrip(self, floorplan):
+        clone = floorplan_from_dict(floorplan_to_dict(floorplan))
+        assert clone.total_power() == pytest.approx(floorplan.total_power())
+        wl_a, cr_a = floorplan.wirelength()
+        wl_b, cr_b = clone.wirelength()
+        assert wl_b == pytest.approx(wl_a)
+        assert cr_b == cr_a
+
+    def test_power_maps_survive_roundtrip(self, floorplan):
+        from repro.layout.grid import GridSpec
+
+        clone = floorplan_from_dict(floorplan_to_dict(floorplan))
+        grid = GridSpec(floorplan.stack.outline, 8, 8)
+        assert np.allclose(floorplan.power_map(0, grid), clone.power_map(0, grid))
+
+    def test_file_roundtrip(self, floorplan, tmp_path):
+        path = tmp_path / "fp.json"
+        save_floorplan(floorplan, path)
+        clone = load_floorplan(path)
+        assert set(clone.placements) == set(floorplan.placements)
+        assert clone.thermal_tsvs[0].kind == TSVKind.THERMAL
