@@ -10,11 +10,16 @@ import numpy as np
 import pytest
 
 from repro.benchmarks import load
-from repro.floorplan.objectives import CompiledNetlist
+from repro.floorplan.moves import apply_random_move
+from repro.floorplan.objectives import CompiledNetlist, CostEvaluator, FloorplanMode
 from repro.floorplan.seqpair import LayoutState
 from repro.layout.grid import GridSpec
 from repro.leakage.entropy import spatial_entropy
-from repro.leakage.pearson import die_correlation
+from repro.leakage.pearson import (
+    die_correlation,
+    local_correlation_map,
+    local_correlation_map_loop,
+)
 from repro.leakage.stability import stability_map
 from repro.power.assignment import AssignmentObjective, assign_voltages
 from repro.thermal.fast import FastThermalModel
@@ -103,3 +108,101 @@ def test_voltage_assignment_n100(benchmark, n100_state):
     fp = state.realize(circ.nets, circ.terminals, place_tsvs=False)
     inflation = {n: 1.6 for n in fp.placements}
     benchmark(assign_voltages, fp, inflation, AssignmentObjective.TSC_AWARE)
+
+
+# -- incremental vs full annealing-iteration throughput -------------------------
+#
+# One "iteration" is what the SA loop does per move: copy the state, apply
+# a random move, and score the candidate.  The incremental variant passes
+# the move's dirty dies and commits (accept-all worst case for the
+# snapshot machinery); the full variant is the force_full oracle.
+
+
+def _iteration_harness(incremental: bool):
+    circ, stack = load("n100")
+    rng = np.random.default_rng(0)
+    state = LayoutState.initial(circ.modules, stack, rng)
+    evaluator = CostEvaluator(
+        stack, circ.nets, circ.terminals,
+        mode=FloorplanMode.TSC_AWARE,
+        thermal_model=FastThermalModel(num_dies=stack.num_dies),
+        auto_calibrate=False,
+    )
+    evaluator.evaluate(state, force_full=True)
+    evaluator.commit()
+    box = {"state": state}
+
+    def one_iteration():
+        candidate = box["state"].copy()
+        move = apply_random_move(candidate, rng)
+        if incremental:
+            evaluator.evaluate(candidate, dirty_dies=move.dies)
+            evaluator.commit()
+            box["state"] = candidate
+        else:
+            evaluator.evaluate(candidate, force_full=True)
+
+    return one_iteration
+
+
+def test_anneal_iteration_incremental_n100(benchmark):
+    """Incremental path, default refresh cadences — the production loop."""
+    benchmark(_iteration_harness(incremental=True))
+
+
+def test_anneal_iteration_full_n100(benchmark):
+    """force_full oracle per move — what every iteration used to cost."""
+    benchmark(_iteration_harness(incremental=False))
+
+
+# -- batched activity-sampling sweep (Sec. 6.2) ---------------------------------
+#
+# 100 Gaussian activity samples on a 32x32 stack.  The naive variant
+# re-assembles and re-factorizes the network per sample (what a cache-less
+# flow pays); the batched variant back-substitutes all 100 right-hand
+# sides through one cached LU via solve_many.
+
+
+@pytest.fixture(scope="module")
+def activity_sweep_setup(n100_state):
+    _, stack, _ = n100_state
+    grid = GridSpec(stack.outline, 32, 32)
+    rng = np.random.default_rng(9)
+    power_sets = [
+        [rng.random(grid.shape) * 4.0 / 1024, rng.random(grid.shape) * 4.0 / 1024]
+        for _ in range(100)
+    ]
+    return stack, grid, power_sets
+
+
+def test_activity_sweep_batched_lu_reuse(benchmark, activity_sweep_setup):
+    stack, grid, power_sets = activity_sweep_setup
+    solver = SteadyStateSolver(build_stack(stack, grid))
+    benchmark(solver.solve_many, power_sets)
+
+
+def test_activity_sweep_refactorize_per_sample(benchmark, activity_sweep_setup):
+    stack, grid, power_sets = activity_sweep_setup
+
+    def naive():
+        for maps in power_sets:
+            SteadyStateSolver(build_stack(stack, grid)).solve(maps)
+
+    benchmark.pedantic(naive, rounds=1, iterations=1)
+
+
+# -- vectorized local correlation map -------------------------------------------
+
+
+def test_local_correlation_map_vectorized_64(benchmark):
+    rng = np.random.default_rng(5)
+    p = rng.random((64, 64)) * 1e-3
+    t = 293.0 + 40.0 * rng.random((64, 64))
+    benchmark(local_correlation_map, p, t, 5)
+
+
+def test_local_correlation_map_loop_64(benchmark):
+    rng = np.random.default_rng(5)
+    p = rng.random((64, 64)) * 1e-3
+    t = 293.0 + 40.0 * rng.random((64, 64))
+    benchmark.pedantic(local_correlation_map_loop, args=(p, t, 5), rounds=2, iterations=1)

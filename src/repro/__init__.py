@@ -37,11 +37,19 @@ from .core import (
     run_flow,
     verify_correlations,
 )
+from .exploration import BatchJob, run_batch, summarize_batch
 from .floorplan import AnnealConfig, FloorplanMode, anneal
 from .layout import Floorplan3D, GridSpec, Module, Net, Rect, StackConfig, Terminal
 from .leakage import die_correlation, spatial_entropy, stability_map
 from .mitigation import MitigationConfig, insert_dummy_tsvs
-from .thermal import FastThermalModel, SteadyStateSolver, build_stack, solve_floorplan
+from .thermal import (
+    FastThermalModel,
+    SolverCache,
+    SteadyStateSolver,
+    build_stack,
+    default_solver_cache,
+    solve_floorplan,
+)
 
 __version__ = "1.0.0"
 
@@ -71,7 +79,12 @@ __all__ = [
     "insert_dummy_tsvs",
     "FastThermalModel",
     "SteadyStateSolver",
+    "SolverCache",
+    "default_solver_cache",
     "build_stack",
     "solve_floorplan",
+    "BatchJob",
+    "run_batch",
+    "summarize_batch",
     "__version__",
 ]

@@ -4,8 +4,12 @@ Examples::
 
     python -m repro.cli flow n100 --mode tsc_aware --iterations 2000
     python -m repro.cli sweep n100 n300 --runs 3
+    python -m repro.cli batch n100 n300 --modes power_aware tsc_aware --seeds 4 -j 8
     python -m repro.cli explore --grid 32
     python -m repro.cli benchmarks
+
+``sweep`` runs serially in-process; ``batch`` is the parallel variant,
+fanning (benchmark, mode, seed) jobs across a process pool.
 """
 
 from __future__ import annotations
@@ -22,6 +26,13 @@ from .floorplan.annealer import AnnealConfig
 from .floorplan.objectives import FloorplanMode
 
 __all__ = ["main"]
+
+#: metrics columns of the sweep/batch comparison tables (Table 2 order)
+TABLE_METRICS = [
+    "correlation_r1", "spatial_entropy_s1", "correlation_r2",
+    "power_w", "critical_delay_ns", "wirelength_m", "peak_temp_k",
+    "voltage_volumes", "dummy_tsvs",
+]
 
 
 def _print_metrics(m) -> None:
@@ -50,11 +61,6 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    metrics = [
-        "correlation_r1", "spatial_entropy_s1", "correlation_r2",
-        "power_w", "critical_delay_ns", "wirelength_m", "peak_temp_k",
-        "voltage_volumes", "dummy_tsvs",
-    ]
     for mode in (FloorplanMode.POWER_AWARE, FloorplanMode.TSC_AWARE):
         rows = {}
         for bench in args.benchmarks:
@@ -68,7 +74,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 )
                 runs.append(run_flow(circuit, stack, config).metrics)
             rows[bench] = aggregate_metrics(runs)
-        print("\n" + format_table(rows, metrics, title=f"setup: {mode}"))
+        print("\n" + format_table(rows, TABLE_METRICS, title=f"setup: {mode}"))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .exploration.study import BatchJob, run_batch, summarize_batch
+
+    if args.seeds < 1:
+        raise SystemExit("error: --seeds must be >= 1")
+    jobs = [
+        BatchJob(
+            benchmark=bench,
+            mode=mode,
+            seed=seed,
+            iterations=args.iterations,
+            grid=args.grid,
+        )
+        for mode in args.modes
+        for bench in args.benchmarks
+        for seed in range(args.seeds)
+    ]
+    print(f"running {len(jobs)} flow jobs "
+          f"({len(args.benchmarks)} benchmarks x {len(args.modes)} modes x "
+          f"{args.seeds} seeds) on {args.processes or 'auto'} processes")
+    results = run_batch(jobs, processes=args.processes)
+    summary = summarize_batch(jobs, results)
+    for mode in args.modes:
+        rows = {
+            bench: agg
+            for (bench, m), agg in summary.items()
+            if m == mode
+        }
+        print("\n" + format_table(rows, TABLE_METRICS, title=f"setup: {mode}"))
     return 0
 
 
@@ -116,6 +154,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--iterations", type=int, default=1500)
     p_sweep.add_argument("--grid", type=int, default=32)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_batch = sub.add_parser(
+        "batch", help="parallel scenario sweep over a process pool"
+    )
+    p_batch.add_argument("benchmarks", nargs="+", choices=benchmark_names())
+    p_batch.add_argument("--modes", nargs="+",
+                         choices=["power_aware", "tsc_aware"],
+                         default=["power_aware", "tsc_aware"])
+    p_batch.add_argument("--seeds", type=int, default=2,
+                         help="runs per (benchmark, mode), seeded 0..N-1")
+    p_batch.add_argument("--iterations", type=int, default=1500)
+    p_batch.add_argument("--grid", type=int, default=32)
+    p_batch.add_argument("-j", "--processes", type=int, default=None,
+                         help="pool size (default: min(jobs, cpu count); "
+                              "1 = serial)")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_exp = sub.add_parser("explore", help="Sec. 3 power x TSV study")
     p_exp.add_argument("--grid", type=int, default=24)

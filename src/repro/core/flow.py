@@ -34,8 +34,7 @@ from ..leakage.entropy import spatial_entropy
 from ..leakage.pearson import die_correlation
 from ..mitigation.dummy_tsv import MitigationReport, insert_dummy_tsvs
 from ..power.assignment import AssignmentObjective, assign_voltages
-from ..thermal.stack import build_stack
-from ..thermal.steady_state import SteadyStateSolver
+from ..thermal.steady_state import SolverCache, default_solver_cache
 from ..timing.paths import TimingGraph
 from .config import FlowConfig
 from .results import FlowMetrics
@@ -57,11 +56,19 @@ class FlowOutcome:
 
 
 def verify_correlations(
-    floorplan: Floorplan3D, grid: GridSpec
+    floorplan: Floorplan3D,
+    grid: GridSpec,
+    cache: SolverCache | None = None,
 ) -> Tuple[List[float], List[np.ndarray], List[np.ndarray], float]:
-    """Detailed verification: per-die correlations, maps, and peak temp."""
-    density = floorplan.tsv_density((0, 1), grid)
-    solver = SteadyStateSolver(build_stack(floorplan.stack, grid, tsv_density=density))
+    """Detailed verification: per-die correlations, maps, and peak temp.
+
+    The solver comes from ``cache`` (default: the process-wide
+    :class:`SolverCache`) and is keyed by the TSV densities of *all*
+    adjacent die pairs — earlier revisions hardcoded the (0, 1) pair and
+    silently ignored TSVs between upper dies of taller stacks.
+    """
+    cache = cache if cache is not None else default_solver_cache()
+    solver = cache.solver_for_floorplan(floorplan, grid)
     power_maps = [
         floorplan.power_map(d, grid) for d in range(floorplan.stack.num_dies)
     ]

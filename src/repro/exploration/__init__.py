@@ -1,7 +1,14 @@
-"""Exploratory power x TSV studies (Sec. 3, Fig. 2)."""
+"""Exploratory power x TSV studies (Sec. 3, Fig. 2) and batch sweeps."""
 
 from .patterns import POWER_PATTERNS, TSV_PATTERNS, pattern_names, power_pattern, tsv_pattern
-from .study import ExplorationCell, run_exploration, summarize_findings
+from .study import (
+    BatchJob,
+    ExplorationCell,
+    run_batch,
+    run_exploration,
+    summarize_batch,
+    summarize_findings,
+)
 
 __all__ = [
     "POWER_PATTERNS",
@@ -12,4 +19,7 @@ __all__ = [
     "ExplorationCell",
     "run_exploration",
     "summarize_findings",
+    "BatchJob",
+    "run_batch",
+    "summarize_batch",
 ]

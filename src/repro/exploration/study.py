@@ -1,31 +1,47 @@
-"""The Sec. 3 exploratory study: 30 power x TSV combinations.
+"""The Sec. 3 exploratory study, plus the multi-run batch entry point.
 
-Runs the detailed thermal analysis for every combination of the five
-power distributions and six TSV distributions, and reports the per-die
-power-temperature correlation of each.  The paper's key initial findings,
-which :func:`summarize_findings` checks programmatically:
+:func:`run_exploration` runs the detailed thermal analysis for every
+combination of the five power distributions and six TSV distributions,
+and reports the per-die power-temperature correlation of each.  The
+paper's key initial findings, which :func:`summarize_findings` checks
+programmatically:
 
 1. large power gradients correlate most; globally uniform least;
 2. many regularly arranged TSVs raise the correlation — the fewer and
    the less regular the TSVs, the lower the correlation;
 3. locally uniform power with irregular TSVs or islands decorrelates.
+
+:func:`run_batch` fans whole floorplanning flows (multiple benchmarks,
+modes, and seeds) across a process pool and aggregates the resulting
+:class:`~repro.core.results.FlowMetrics` — the scenario-sweep workhorse
+for Table 2-style studies at paper-scale replication counts.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.results import FlowMetrics, aggregate_metrics
+from ..floorplan.objectives import FloorplanMode
 from ..layout.die import StackConfig
 from ..layout.grid import GridSpec
 from ..leakage.pearson import die_correlation
-from ..thermal.stack import build_stack
-from ..thermal.steady_state import SteadyStateSolver
+from ..thermal.steady_state import SolverCache, default_solver_cache
 from .patterns import pattern_names, power_pattern, tsv_pattern
 
-__all__ = ["ExplorationCell", "run_exploration", "summarize_findings"]
+__all__ = [
+    "ExplorationCell",
+    "run_exploration",
+    "summarize_findings",
+    "BatchJob",
+    "run_batch",
+    "summarize_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -48,20 +64,33 @@ def run_exploration(
     grid_n: int = 32,
     total_power_w: float = 8.0,
     seed: int = 0,
+    cache: SolverCache | None = None,
 ) -> List[ExplorationCell]:
-    """Evaluate all 30 power x TSV combinations on a two-die stack."""
+    """Evaluate all 30 power x TSV combinations on a two-die stack.
+
+    Solvers come from ``cache`` (default: the process-wide cache), so
+    repeated studies — parameter scans over power or seeds on the same
+    TSV patterns — factorize each network exactly once.
+    """
     stack_cfg = StackConfig.square(die_side_um)
     grid = GridSpec(stack_cfg.outline, grid_n, grid_n)
     power_names, tsv_names = pattern_names()
+    cache = cache if cache is not None else default_solver_cache()
 
     cells: List[ExplorationCell] = []
     for tsv_name in tsv_names:
         _, density = tsv_pattern(tsv_name, stack_cfg, grid, seed=seed)
-        solver = SteadyStateSolver(build_stack(stack_cfg, grid, tsv_density=density))
-        for power_name in power_names:
-            pm0 = power_pattern(power_name, grid, total_power_w / 2.0, seed=seed)
-            pm1 = power_pattern(power_name, grid, total_power_w / 2.0, seed=seed + 1)
-            result = solver.solve([pm0, pm1])
+        solver = cache.solver(stack_cfg, grid, density)
+        # all five power patterns ride one factorization per TSV pattern
+        pm_pairs = [
+            (
+                power_pattern(name, grid, total_power_w / 2.0, seed=seed),
+                power_pattern(name, grid, total_power_w / 2.0, seed=seed + 1),
+            )
+            for name in power_names
+        ]
+        results = solver.solve_many([list(pair) for pair in pm_pairs])
+        for power_name, (pm0, pm1), result in zip(power_names, pm_pairs, results):
             cells.append(
                 ExplorationCell(
                     power_pattern=power_name,
@@ -104,3 +133,86 @@ def summarize_findings(cells: List[ExplorationCell]) -> Dict[str, float]:
         "regular_tsvs": mean_r(tsv=["irregular_regular", "islands_regular", "max_density"]),
         "irregular_or_islands": mean_r(tsv=["irregular", "islands"]),
     }
+
+
+# -- multi-run batch execution ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One flow invocation of a scenario sweep.
+
+    Kept to plain picklable fields so jobs travel cleanly to process-pool
+    workers; each worker loads the benchmark by name and builds its own
+    configs (solver caches and calibrated thermal models are per-process
+    and warm up once per worker).
+    """
+
+    benchmark: str
+    mode: str = FloorplanMode.POWER_AWARE
+    seed: int = 0
+    iterations: int = 1500
+    grid: int = 32
+    num_dies: int = 2
+
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.mode}/seed{self.seed}"
+
+
+def _execute_batch_job(job: BatchJob) -> FlowMetrics:
+    # local imports keep worker start-up lean and avoid an import cycle
+    # (core.flow does not import exploration)
+    from ..benchmarks import load
+    from ..core.config import FlowConfig
+    from ..core.flow import run_flow
+    from ..floorplan.annealer import AnnealConfig
+
+    # num_dies flows into load() so the circuit is generated (module
+    # areas sized) for that die count, not patched onto a 2-die instance
+    circuit, stack = load(job.benchmark, num_dies=job.num_dies)
+    config = FlowConfig(
+        mode=job.mode,
+        anneal=AnnealConfig(iterations=job.iterations, seed=job.seed),
+        verify_nx=job.grid,
+        verify_ny=job.grid,
+        seed=job.seed,
+    )
+    return run_flow(circuit, stack, config).metrics
+
+
+def run_batch(
+    jobs: Iterable[BatchJob],
+    processes: Optional[int] = None,
+) -> List[FlowMetrics]:
+    """Run many flow invocations, fanning out across a process pool.
+
+    ``processes=None`` sizes the pool to ``min(len(jobs), cpu_count)``;
+    ``processes<=1`` runs serially in-process (useful under profilers and
+    in tests).  Results come back in job order.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if processes is None:
+        processes = min(len(jobs), os.cpu_count() or 1)
+    if processes <= 1 or len(jobs) == 1:
+        return [_execute_batch_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(_execute_batch_job, jobs))
+
+
+def summarize_batch(
+    jobs: Sequence[BatchJob], metrics: Sequence[FlowMetrics]
+) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """Aggregate batch results per (benchmark, mode) across seeds.
+
+    Values are the per-metric means from
+    :func:`~repro.core.results.aggregate_metrics`, ready for
+    :func:`~repro.core.results.format_table`.
+    """
+    if len(jobs) != len(metrics):
+        raise ValueError("need exactly one metrics record per job")
+    groups: Dict[Tuple[str, str], List[FlowMetrics]] = {}
+    for job, m in zip(jobs, metrics):
+        groups.setdefault((job.benchmark, job.mode), []).append(m)
+    return {key: aggregate_metrics(runs) for key, runs in groups.items()}

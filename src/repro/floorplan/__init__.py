@@ -1,7 +1,7 @@
 """Floorplanning engine: sequence pairs, SA annealer, multi-objective cost."""
 
 from .annealer import AnnealConfig, AnnealResult, anneal
-from .moves import MOVE_NAMES, apply_random_move
+from .moves import MOVE_NAMES, MoveRecord, apply_random_move
 from .objectives import (
     CompiledNetlist,
     CostBreakdown,
@@ -16,6 +16,7 @@ __all__ = [
     "AnnealResult",
     "anneal",
     "MOVE_NAMES",
+    "MoveRecord",
     "apply_random_move",
     "CompiledNetlist",
     "CostBreakdown",

@@ -51,6 +51,9 @@ class AnnealConfig:
     assignment_every: int = 50
     inloop_volume_size: int = 16
     calibration_samples: int = 24
+    #: incremental (dirty-die) cost evaluation; disable to fall back to
+    #: the full per-move evaluation, the correctness oracle
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -128,8 +131,11 @@ def anneal(
 
     current_bd = evaluator.evaluate(state, force_full=True)
     current_cost = evaluator.total_cost(current_bd)
+    evaluator.commit()
 
-    # probe deltas for the starting temperature
+    # probe deltas for the starting temperature (full evaluations on probe
+    # copies; deliberately never committed, so the incremental baseline
+    # stays pinned to ``state``)
     probe_deltas: List[float] = []
     probe = state.copy()
     for _ in range(min(20, config.calibration_samples)):
@@ -152,52 +158,63 @@ def anneal(
     history: List[float] = []
     moves_at_t = 0
     push_at = int(config.iterations * 0.8)
-    for it in range(config.iterations):
-        if it == push_at:
-            # compaction phase: boost the fixed-outline pressure so the
-            # final solution packs inside the outline
-            from dataclasses import replace as _replace
+    # the compaction phase temporarily boosts the fixed-outline pressure;
+    # the caller's evaluator (and its weights) must come back unchanged,
+    # so the original weights are restored in the ``finally`` below
+    original_weights = evaluator.weights
+    try:
+        for it in range(config.iterations):
+            if it == push_at:
+                # compaction phase: boost the fixed-outline pressure so the
+                # final solution packs inside the outline
+                from dataclasses import replace as _replace
 
-            evaluator.weights = _replace(
-                evaluator.weights, outline=evaluator.weights.outline * 6.0
-            )
-            current_cost = evaluator.total_cost(current_bd)
-            best_cost = evaluator.total_cost(best_bd)
-        candidate = state.copy()
-        apply_random_move(candidate, rng)
-        bd = evaluator.evaluate(candidate)
-        cost = evaluator.total_cost(bd)
-        delta = cost - current_cost
-        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
-            state = candidate
-            current_cost = cost
-            current_bd = bd
-            accepted += 1
-            feasible = bd.outline <= 1e-9
-            improved = (
-                (feasible and not best_feasible)
-                or (feasible == best_feasible and cost < best_cost)
-                or (not feasible and not best_feasible and bd.outline < best_violation)
-            )
-            if improved:
-                best_state = state.copy()
-                best_cost = cost
-                best_bd = bd
-                best_feasible = feasible
-                best_violation = bd.outline
-            if feasible and (bd.correlation + bd.entropy) > 0:
-                leak = bd.correlation + 0.1 * bd.entropy
-                if leak < best_leak_score:
-                    best_leak_score = leak
-                    best_leak_state = state.copy()
-        history.append(current_cost)
-        moves_at_t += 1
-        if moves_at_t >= config.moves_per_temperature:
-            temperature *= config.cooling
-            moves_at_t = 0
+                evaluator.weights = _replace(
+                    original_weights, outline=original_weights.outline * 6.0
+                )
+                current_cost = evaluator.total_cost(current_bd)
+                best_cost = evaluator.total_cost(best_bd)
+            candidate = state.copy()
+            move = apply_random_move(candidate, rng)
+            if config.incremental:
+                bd = evaluator.evaluate(candidate, dirty_dies=move.dies)
+            else:
+                bd = evaluator.evaluate(candidate, force_full=True)
+            cost = evaluator.total_cost(bd)
+            delta = cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+                state = candidate
+                current_cost = cost
+                current_bd = bd
+                evaluator.commit()
+                accepted += 1
+                feasible = bd.outline <= 1e-9
+                improved = (
+                    (feasible and not best_feasible)
+                    or (feasible == best_feasible and cost < best_cost)
+                    or (not feasible and not best_feasible and bd.outline < best_violation)
+                )
+                if improved:
+                    best_state = state.copy()
+                    best_cost = cost
+                    best_bd = bd
+                    best_feasible = feasible
+                    best_violation = bd.outline
+                if feasible and (bd.correlation + bd.entropy) > 0:
+                    leak = bd.correlation + 0.1 * bd.entropy
+                    if leak < best_leak_score:
+                        best_leak_score = leak
+                        best_leak_state = state.copy()
+            history.append(current_cost)
+            moves_at_t += 1
+            if moves_at_t >= config.moves_per_temperature:
+                temperature *= config.cooling
+                moves_at_t = 0
 
-    final_bd = evaluator.evaluate(best_state, force_full=True)
-    final_cost = evaluator.total_cost(final_bd)
+        final_bd = evaluator.evaluate(best_state, force_full=True)
+        final_cost = evaluator.total_cost(final_bd)
+    finally:
+        evaluator.weights = original_weights
     floorplan = best_state.realize(nets, terminals)
     runtime = time.perf_counter() - t_start
     return AnnealResult(

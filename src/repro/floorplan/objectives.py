@@ -32,7 +32,7 @@ from ..leakage.pearson import die_correlation
 from ..power.assignment import AssignmentObjective, VoltageAssignment, assign_voltages
 from ..thermal.fast import FastThermalModel
 from ..timing.paths import TimingGraph
-from .seqpair import LayoutState
+from .seqpair import LayoutState, pack_die
 
 __all__ = [
     "ObjectiveWeights",
@@ -41,6 +41,30 @@ __all__ = [
     "CostEvaluator",
     "FloorplanMode",
 ]
+
+
+#: calibrated fast-thermal models, memoized per (stack, grid) — repeated
+#: flow runs over the same benchmark (sweeps, batches) calibrate once
+_CALIBRATED_MODELS: Dict[Tuple[StackConfig, GridSpec], FastThermalModel] = {}
+
+
+def calibrated_thermal_model(stack: StackConfig, grid: GridSpec) -> FastThermalModel:
+    """Fit (or reuse) the power-blurring masks for this outline and grid.
+
+    Corblivar calibrates its masks against HotSpot the same way; the
+    detailed solver used for fitting comes from the process-wide
+    :class:`~repro.thermal.steady_state.SolverCache`.
+    """
+    key = (stack, grid)
+    model = _CALIBRATED_MODELS.get(key)
+    if model is None:
+        from ..thermal.fast import calibrate as _calibrate
+        from ..thermal.steady_state import default_solver_cache
+
+        solver = default_solver_cache().solver(stack, grid)
+        model = _calibrate(solver, grid, num_dies=stack.num_dies)
+        _CALIBRATED_MODELS[key] = model
+    return model
 
 
 class FloorplanMode:
@@ -215,6 +239,41 @@ class _ExpensiveCache:
     assignment: Optional[VoltageAssignment] = None
 
 
+@dataclass
+class _Snapshot:
+    """Memoized geometry and cost terms of one evaluated layout.
+
+    The incremental evaluator keeps the snapshot of the annealer's
+    current (committed) state; a move then only repacks the dies it
+    touched, patches the affected module centres, and reuses every other
+    cached term.  Snapshots are immutable-by-convention once committed —
+    :meth:`CostEvaluator._advance_snapshot` always copies before writing.
+    """
+
+    positions: Dict[str, Tuple[float, float]]
+    sizes: Dict[str, Tuple[float, float]]
+    extents: List[Tuple[float, float]]
+    die_members: List[List[str]]
+    cx: np.ndarray
+    cy: np.ndarray
+    dd: np.ndarray
+    #: nominal (pre-voltage) module power per die, for the die-assignment term
+    die_power: List[float]
+    wirelength: float = 0.0
+    tsv_crossings: int = 0
+    outline: float = 0.0
+    area: float = 0.0
+    die_assignment: float = 0.0
+    #: per-die power maps rasterized at the last thermal refresh
+    power_maps: Optional[List[np.ndarray]] = None
+    #: per-die spatial entropies matching ``power_maps``
+    entropies: Optional[List[float]] = None
+    #: dies whose cached power map no longer matches ``positions``
+    stale_power: set = field(default_factory=set)
+    #: voltage-assignment stamp the power maps were rasterized under
+    power_stamp: int = -1
+
+
 class CostEvaluator:
     """Scores :class:`LayoutState` objects for the annealer."""
 
@@ -241,14 +300,9 @@ class CostEvaluator:
         self.grid = GridSpec(stack.outline, grid_nx, grid_ny)
         if thermal_model is None and auto_calibrate:
             # fit the power-blurring masks against the detailed solver for
-            # THIS outline and grid (Corblivar calibrates against HotSpot
-            # the same way); one-time cost of well under a second
-            from ..thermal.fast import calibrate as _calibrate
-            from ..thermal.stack import build_stack as _build_stack
-            from ..thermal.steady_state import SteadyStateSolver as _Solver
-
-            solver = _Solver(_build_stack(stack, self.grid))
-            thermal_model = _calibrate(solver, self.grid, num_dies=stack.num_dies)
+            # THIS outline and grid; memoized per (stack, grid) so sweeps
+            # and batches calibrate once
+            thermal_model = calibrated_thermal_model(stack, self.grid)
         self.tsv_length_um = tsv_length_um
         self.timing_every = max(1, timing_every)
         self.thermal_every = max(1, thermal_every)
@@ -262,6 +316,12 @@ class CostEvaluator:
         self._cache = _ExpensiveCache()
         self._scales: Dict[str, float] = {}
         self._iteration = 0
+        self._committed: Optional[_Snapshot] = None
+        self._pending: Optional[_Snapshot] = None
+        self._assignment_stamp = 0
+        self._total_nominal_power: Optional[float] = None
+        #: observability: how many evaluations took which path
+        self.eval_stats = {"full": 0, "incremental": 0}
 
     # -- plumbing ---------------------------------------------------------------
     def _compiled(self, state: LayoutState) -> CompiledNetlist:
@@ -276,52 +336,123 @@ class CostEvaluator:
             )
         return self._timing
 
-    def _geometry_arrays(
-        self, state: LayoutState, positions: Mapping[str, Tuple[float, float]]
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _total_power(self, state: LayoutState) -> float:
+        if self._total_nominal_power is None:
+            self._total_nominal_power = (
+                sum(m.power for m in state.modules.values()) or 1.0
+            )
+        return self._total_nominal_power
+
+    # -- snapshot construction ------------------------------------------------------
+    def _finish_cheap(self, state: LayoutState, snap: "_Snapshot") -> None:
+        """Derive the cheap cost terms from the snapshot's geometry."""
         nl = self._compiled(state)
+        wl, crossings, _, _ = nl.wirelength(
+            snap.cx, snap.cy, snap.dd, self.tsv_length_um
+        )
+        snap.wirelength = wl
+        snap.tsv_crossings = crossings
+        outline = self.stack.outline
+        over = 0.0
+        fill = 0.0
+        for w, h in snap.extents:
+            over += max(0.0, w / outline.w - 1.0) + max(0.0, h / outline.h - 1.0)
+            fill += (min(w, outline.w) / outline.w) * (min(h, outline.h) / outline.h)
+        snap.outline = over
+        snap.area = fill / max(1, len(snap.extents))
+        # thermal design rule: pull power toward the heatsink-adjacent die
+        top = self.stack.num_dies - 1
+        snap.die_assignment = 1.0 - snap.die_power[top] / self._total_power(state)
+
+    def _full_snapshot(self, state: LayoutState) -> "_Snapshot":
+        nl = self._compiled(state)
+        sizes = {n: state.effective_size(n) for n in state.modules}
+        positions: Dict[str, Tuple[float, float]] = {}
+        extents: List[Tuple[float, float]] = []
+        die_members: List[List[str]] = []
+        die_power: List[float] = []
+        for pair in state.pairs:
+            members = list(pair.s1)
+            pos, w, h = pack_die(pair, sizes)
+            positions.update(pos)
+            extents.append((w, h))
+            die_members.append(members)
+            die_power.append(sum(state.modules[n].power for n in members))
         cx = np.empty(nl.num_modules)
         cy = np.empty(nl.num_modules)
         dd = np.empty(nl.num_modules, dtype=np.int64)
         for name, idx in nl.module_index.items():
             x, y = positions[name]
-            w, h = state.effective_size(name)
+            w, h = sizes[name]
             cx[idx] = x + w / 2.0
             cy[idx] = y + h / 2.0
             dd[idx] = state.die_of[name]
-        return cx, cy, dd
+        snap = _Snapshot(
+            positions=positions,
+            sizes=sizes,
+            extents=extents,
+            die_members=die_members,
+            cx=cx,
+            cy=cy,
+            dd=dd,
+            die_power=die_power,
+            stale_power=set(range(self.stack.num_dies)),
+        )
+        self._finish_cheap(state, snap)
+        return snap
+
+    def _advance_snapshot(self, state: LayoutState, dirty: set) -> "_Snapshot":
+        """Copy-on-write the committed snapshot, repacking only dirty dies."""
+        base = self._committed
+        assert base is not None
+        snap = _Snapshot(
+            positions=dict(base.positions),
+            sizes=dict(base.sizes),
+            extents=list(base.extents),
+            die_members=list(base.die_members),
+            cx=base.cx.copy(),
+            cy=base.cy.copy(),
+            dd=base.dd.copy(),
+            die_power=list(base.die_power),
+            power_maps=None if base.power_maps is None else list(base.power_maps),
+            entropies=None if base.entropies is None else list(base.entropies),
+            stale_power=set(base.stale_power) | set(dirty),
+            power_stamp=base.power_stamp,
+        )
+        nl = self._compiled(state)
+        touched: set = set()
+        for d in dirty:
+            # old members: covers modules that migrated *out* of die d
+            touched.update(base.die_members[d])
+            members = list(state.pairs[d].s1)
+            snap.die_members[d] = members
+            touched.update(members)
+            sizes = {n: state.effective_size(n) for n in members}
+            pos, w, h = pack_die(state.pairs[d], sizes)
+            snap.extents[d] = (w, h)
+            for n in members:
+                snap.sizes[n] = sizes[n]
+                snap.positions[n] = pos[n]
+            snap.die_power[d] = sum(state.modules[n].power for n in members)
+        for n in touched:
+            idx = nl.module_index[n]
+            x, y = snap.positions[n]
+            w, h = snap.sizes[n]
+            snap.cx[idx] = x + w / 2.0
+            snap.cy[idx] = y + h / 2.0
+            snap.dd[idx] = state.die_of[n]
+        self._finish_cheap(state, snap)
+        return snap
 
     # -- term computation ---------------------------------------------------------
-    def _cheap_terms(
-        self, state: LayoutState, positions, extents
-    ) -> CostBreakdown:
-        bd = CostBreakdown()
-        outline = self.stack.outline
-        over = 0.0
-        fill = 0.0
-        for w, h in extents:
-            over += max(0.0, w / outline.w - 1.0) + max(0.0, h / outline.h - 1.0)
-            fill += (min(w, outline.w) / outline.w) * (min(h, outline.h) / outline.h)
-        bd.outline = over
-        bd.area = fill / max(1, len(extents))
-        cx, cy, dd = self._geometry_arrays(state, positions)
-        nl = self._compiled(state)
-        wl, crossings, _, _ = nl.wirelength(cx, cy, dd, self.tsv_length_um)
-        bd.wirelength = wl
-        bd.tsv_crossings = crossings
-        # thermal design rule: pull power toward the heatsink-adjacent die
-        total_p = sum(m.power for m in state.modules.values()) or 1.0
-        top = self.stack.num_dies - 1
-        top_p = sum(
-            m.power for n, m in state.modules.items() if state.die_of[n] == top
-        )
-        bd.die_assignment = 1.0 - top_p / total_p
-        return bd
-
-    def _refresh_expensive(self, state: LayoutState, refresh_assignment: bool,
-                           refresh_timing: bool, refresh_thermal: bool) -> None:
+    def _refresh_expensive(self, state: LayoutState, snap: "_Snapshot",
+                           refresh_assignment: bool, refresh_timing: bool,
+                           refresh_thermal: bool) -> None:
         cache = self._cache
-        fp = state.realize(self.nets, self.terminals, place_tsvs=refresh_thermal)
+        fp = state.realize_with_positions(
+            snap.positions, snap.sizes, self.nets, self.terminals,
+            place_tsvs=refresh_thermal,
+        )
         if refresh_assignment:
             timing = self._timing_graph(state)
             inflation = timing.max_delay_inflation(fp)
@@ -334,6 +465,7 @@ class CostEvaluator:
                 fp, inflation, objective=objective,
                 max_volume_size=self.inloop_volume_size,
             )
+            self._assignment_stamp += 1
         voltages = cache.assignment.voltages if cache.assignment else None
         if voltages:
             fp = fp.with_voltages(voltages)
@@ -342,37 +474,93 @@ class CostEvaluator:
             report = timing.evaluate(fp)
             cache.delay = report.critical_delay_ns
         if refresh_thermal:
-            power_maps = [fp.power_map(d, self.grid) for d in range(self.stack.num_dies)]
-            density = fp.tsv_density((0, 1), self.grid) if self.stack.num_dies > 1 else None
-            temp_maps = self.thermal.estimate(power_maps, tsv_density=density)
+            num_dies = self.stack.num_dies
+            if snap.power_maps is None or snap.power_stamp != self._assignment_stamp:
+                # no cache yet, or voltages changed: every map is stale
+                stale = set(range(num_dies))
+                maps: List[np.ndarray] = [None] * num_dies  # type: ignore[list-item]
+            else:
+                stale = set(snap.stale_power)
+                maps = list(snap.power_maps)
+            for d in stale:
+                maps[d] = fp.power_map(d, self.grid)
+            snap.power_maps = maps
+            snap.stale_power = set()
+            snap.power_stamp = self._assignment_stamp
+            if num_dies > 1:
+                # every adjacent interface's TSVs, not just (0, 1)
+                density = [
+                    fp.tsv_density((d, d + 1), self.grid)
+                    for d in range(num_dies - 1)
+                ]
+            else:
+                density = None
+            temp_maps = self.thermal.estimate(maps, tsv_density=density)
             cache.temperature = float(max(t.max() for t in temp_maps))
             if self.weights.correlation > 0.0:
                 rs = [
-                    abs(die_correlation(p, t)) for p, t in zip(power_maps, temp_maps)
+                    abs(die_correlation(p, t)) for p, t in zip(maps, temp_maps)
                 ]
                 cache.correlation = float(np.mean(rs))
             if self.weights.entropy > 0.0:
-                cache.entropy = float(
-                    np.mean([spatial_entropy(p) for p in power_maps])
-                )
+                if snap.entropies is None:
+                    recompute = set(range(num_dies))
+                    ents = [0.0] * num_dies
+                else:
+                    recompute = stale
+                    ents = list(snap.entropies)
+                for d in recompute:
+                    ents[d] = float(spatial_entropy(maps[d]))
+                snap.entropies = ents
+                cache.entropy = float(np.mean(ents))
         cache.power = fp.total_power()
         cache.volumes = (
             float(cache.assignment.num_volumes) if cache.assignment else 0.0
         )
 
     # -- public API -----------------------------------------------------------------
-    def evaluate(self, state: LayoutState, force_full: bool = False) -> CostBreakdown:
-        """Score one state; slow terms refresh on their cadence."""
+    def evaluate(
+        self,
+        state: LayoutState,
+        force_full: bool = False,
+        dirty_dies: Optional[Sequence[int]] = None,
+    ) -> CostBreakdown:
+        """Score one state; slow terms refresh on their cadence.
+
+        With ``dirty_dies`` (the dies touched by the last move, relative
+        to the last :meth:`commit`-ted state) only the affected geometry
+        is repacked and re-rasterized; every untouched term is reused
+        from the committed snapshot.  ``force_full`` recomputes
+        everything from scratch and doubles as the correctness oracle for
+        the incremental path.  Callers driving the incremental path must
+        call :meth:`commit` after every accepted move.
+        """
         self._iteration += 1
         it = self._iteration
         refresh_timing = force_full or (it % self.timing_every == 0)
         refresh_thermal = force_full or (it % self.thermal_every == 0)
         refresh_assignment = force_full or (it % self.assignment_every == 0)
-        positions, extents = state.pack()
-        bd = self._cheap_terms(state, positions, extents)
+        incremental = (
+            not force_full
+            and dirty_dies is not None
+            and self._committed is not None
+        )
+        if incremental:
+            snap = self._advance_snapshot(state, set(dirty_dies))
+            self.eval_stats["incremental"] += 1
+        else:
+            snap = self._full_snapshot(state)
+            self.eval_stats["full"] += 1
+        bd = CostBreakdown(
+            area=snap.area,
+            wirelength=snap.wirelength,
+            die_assignment=snap.die_assignment,
+            outline=snap.outline,
+            tsv_crossings=snap.tsv_crossings,
+        )
         if refresh_timing or refresh_thermal or refresh_assignment:
             self._refresh_expensive(
-                state, refresh_assignment, refresh_timing, refresh_thermal
+                state, snap, refresh_assignment, refresh_timing, refresh_thermal
             )
         cache = self._cache
         bd.delay = cache.delay
@@ -381,7 +569,23 @@ class CostEvaluator:
         bd.volumes = cache.volumes
         bd.correlation = cache.correlation
         bd.entropy = cache.entropy
+        self._pending = snap
         return bd
+
+    def commit(self) -> None:
+        """Adopt the most recently evaluated state as the incremental baseline.
+
+        The annealer calls this after every *accepted* move (and once for
+        the initial state); rejected candidates are simply never
+        committed, so their snapshots are dropped on the next evaluation.
+        """
+        if self._pending is not None:
+            self._committed = self._pending
+
+    def reset_incremental(self) -> None:
+        """Drop the incremental baselines (e.g. before reusing the evaluator)."""
+        self._committed = None
+        self._pending = None
 
     def calibrate_scales(
         self, state: LayoutState, rng: np.random.Generator, samples: int = 24
@@ -389,6 +593,7 @@ class CostEvaluator:
         """Sample random perturbations to set per-term normalization."""
         from .moves import apply_random_move
 
+        self.reset_incremental()
         acc: Dict[str, List[float]] = {name: [] for name in CostBreakdown._FIELDS}
         probe = state.copy()
         for _ in range(samples):

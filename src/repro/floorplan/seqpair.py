@@ -237,10 +237,31 @@ class LayoutState:
     ) -> Floorplan3D:
         """Build the :class:`Floorplan3D` for the current state."""
         positions, _ = self.pack()
+        return self.realize_with_positions(
+            positions, nets=nets, terminals=terminals, place_tsvs=place_tsvs
+        )
+
+    def realize_with_positions(
+        self,
+        positions: Mapping[str, Tuple[float, float]],
+        sizes: Mapping[str, Tuple[float, float]] | None = None,
+        nets: Sequence[Net] = (),
+        terminals: Mapping[str, Terminal] | None = None,
+        place_tsvs: bool = True,
+    ) -> Floorplan3D:
+        """Build the :class:`Floorplan3D` from already packed positions.
+
+        ``positions`` (and optionally precomputed effective ``sizes``) come
+        from a previous :meth:`pack` — the incremental cost evaluator calls
+        this to avoid re-packing every die when only a few moved.
+        """
         placements = {}
         for name, module in self.modules.items():
             x, y = positions[name]
-            w, h = self.effective_size(name)
+            if sizes is not None:
+                w, h = sizes[name]
+            else:
+                w, h = self.effective_size(name)
             # Soft reshaping (and its rotation) is realized by substituting
             # a module with the final effective dimensions, so
             # Placement.rect matches the geometry the packer used.

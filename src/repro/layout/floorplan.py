@@ -178,6 +178,20 @@ class Floorplan3D:
         grid = grid or GridSpec(self.stack.outline)
         return tsv_density_map(self.tsvs, self.stack.outline, grid.nx, grid.ny, between=die_pair)
 
+    def tsv_densities(
+        self, grid: GridSpec | None = None
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """TSV footprint density maps for *every* adjacent die pair.
+
+        This is what the detailed thermal builders should consume —
+        hardcoding the (0, 1) pair silently drops TSVs between upper dies
+        in stacks with more than two tiers.
+        """
+        grid = grid or GridSpec(self.stack.outline)
+        return {
+            pair: self.tsv_density(pair, grid) for pair in self.stack.die_pairs()
+        }
+
     def total_power(self) -> float:
         """Total power in W including voltage scaling."""
         from ..power.voltages import power_scale_for

@@ -27,8 +27,7 @@ from ..layout.grid import GridSpec
 from ..layout.tsv import TSV, TSVKind
 from ..leakage.pearson import die_correlation
 from ..leakage.stability import most_stable_bins, stability_map
-from ..thermal.steady_state import SteadyStateSolver
-from ..thermal.stack import build_stack
+from ..thermal.steady_state import SolverCache, SteadyStateSolver
 from .activity import sample_power_maps
 
 __all__ = ["MitigationConfig", "MitigationReport", "insert_dummy_tsvs"]
@@ -111,9 +110,14 @@ def insert_dummy_tsvs(
     fp = floorplan.copy()
     grid = GridSpec(fp.stack.outline, config.grid_nx, config.grid_ny)
 
+    # each accepted round changes the TSV pattern, so solvers are keyed by
+    # density digest; a small local cache both reuses the accepted
+    # candidate's factorization in the next round and keeps rejected
+    # candidates from evicting anything globally useful
+    solver_cache = SolverCache(maxsize=4)
+
     def make_solver(current: Floorplan3D) -> SteadyStateSolver:
-        density = current.tsv_density((0, 1), grid)
-        return SteadyStateSolver(build_stack(current.stack, grid, tsv_density=density))
+        return solver_cache.solver_for_floorplan(current, grid)
 
     solver = make_solver(fp)
     correlations = _nominal_correlations(fp, grid, solver)
@@ -135,7 +139,9 @@ def insert_dummy_tsvs(
         )
         die = config.target_die if config.target_die is not None else 0
         p_samples = [ps[die] for ps in power_sets]
-        t_samples = [solver.solve(ps).die_maps[die] for ps in power_sets]
+        # one batched back-substitution for all activity samples — the LU
+        # is factorized once per TSV pattern, not once per sample
+        t_samples = [r.die_maps[die] for r in solver.solve_many(power_sets)]
         stability = stability_map(p_samples, t_samples)
         last_stability = stability
 

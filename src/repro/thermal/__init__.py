@@ -13,8 +13,20 @@ from .materials import (
     tsv_composite_vertical,
 )
 from .rc_network import ThermalNetwork, assemble
-from .stack import DEFAULT_DIMENSIONS, Layer, ThermalStack, build_stack
-from .steady_state import SteadyStateSolver, ThermalResult, solve_floorplan
+from .stack import (
+    DEFAULT_DIMENSIONS,
+    Layer,
+    ThermalStack,
+    build_stack,
+    normalize_tsv_densities,
+)
+from .steady_state import (
+    SolverCache,
+    SteadyStateSolver,
+    ThermalResult,
+    default_solver_cache,
+    solve_floorplan,
+)
 from .transient import TransientSolver, TransientTrace, thermal_time_constant
 
 __all__ = [
@@ -35,10 +47,13 @@ __all__ = [
     "Layer",
     "ThermalStack",
     "build_stack",
+    "normalize_tsv_densities",
     "DEFAULT_DIMENSIONS",
     "SteadyStateSolver",
+    "SolverCache",
     "ThermalResult",
     "solve_floorplan",
+    "default_solver_cache",
     "TransientSolver",
     "TransientTrace",
     "thermal_time_constant",

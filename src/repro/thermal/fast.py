@@ -19,14 +19,109 @@ the detailed analysis (Sec. 6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 from scipy.ndimage import gaussian_filter
 
 from ..layout.grid import GridSpec
 
-__all__ = ["MaskParams", "FastThermalModel", "calibrate"]
+__all__ = ["MaskParams", "FastThermalModel", "calibrate", "per_die_attenuation"]
+
+
+def _validated_shapes(power_maps: Sequence[np.ndarray], num_dies: int) -> Tuple[int, int]:
+    """Common shape of the power maps; every die's map is checked."""
+    if len(power_maps) != num_dies:
+        raise ValueError(f"expected {num_dies} power maps, got {len(power_maps)}")
+    shape = np.asarray(power_maps[0]).shape
+    for d, pm in enumerate(power_maps):
+        if np.asarray(pm).shape != shape:
+            raise ValueError(
+                f"power map for die {d}: shape {np.asarray(pm).shape} != {shape}"
+            )
+    return shape
+
+
+def per_die_attenuation(
+    num_dies: int,
+    shape: Tuple[int, int],
+    tsv_density,
+    beta: float,
+) -> List[np.ndarray]:
+    """Per-source-die heat-pipe attenuation maps from TSV densities.
+
+    ``tsv_density`` accepts the same forms as the detailed solver:
+
+    * ``None`` — no attenuation anywhere;
+    * a single array — the (0, 1) interface; it attenuates dies 0 and 1
+      (for two-die stacks this is every die, matching the historical
+      behaviour; taller stacks no longer wrongly attenuate upper dies);
+    * a mapping ``{(d, d+1): array}`` or a sequence of ``num_dies - 1``
+      per-pair arrays — die ``s`` is attenuated by the element-wise
+      maximum of its adjacent interfaces' densities;
+    * a sequence of ``num_dies`` arrays — explicit per-die densities.
+
+    Each returned map is ``1 - beta * clip(density, 0, 1)``.
+    """
+    ones = np.ones(shape)
+    if tsv_density is None:
+        return [ones] * num_dies
+
+    def atten(density: np.ndarray) -> np.ndarray:
+        density = np.asarray(density, dtype=float)
+        if density.shape != tuple(shape):
+            raise ValueError(
+                f"tsv_density shape {density.shape} != power-map shape {tuple(shape)}"
+            )
+        return 1.0 - beta * np.clip(density, 0.0, 1.0)
+
+    if isinstance(tsv_density, np.ndarray):
+        pair_densities: Dict[Tuple[int, int], np.ndarray] = {(0, 1): tsv_density}
+    elif isinstance(tsv_density, Mapping):
+        pair_densities = {}
+        for p, arr in tsv_density.items():
+            pair = (int(p[0]), int(p[1]))
+            # same adjacency rule as normalize_tsv_densities, so the fast
+            # model and the detailed solver reject the same inputs
+            if pair[1] != pair[0] + 1 or not 0 <= pair[0] < num_dies - 1:
+                raise ValueError(
+                    f"tsv_density pair {pair} is not an adjacent pair of a "
+                    f"{num_dies}-die stack"
+                )
+            pair_densities[pair] = arr
+    elif isinstance(tsv_density, Sequence):
+        arrs = list(tsv_density)
+        if len(arrs) == num_dies:
+            # explicit per-die densities
+            return [atten(a) for a in arrs]
+        if len(arrs) == max(1, num_dies - 1):
+            pair_densities = {(d, d + 1): arr for d, arr in enumerate(arrs)}
+        else:
+            raise ValueError(
+                f"{len(arrs)} density maps given; expected {num_dies} per-die "
+                f"or {max(1, num_dies - 1)} per-pair maps"
+            )
+    else:
+        raise TypeError(
+            "tsv_density must be None, an array, a {pair: array} mapping, or "
+            f"a sequence of arrays (got {type(tsv_density).__name__})"
+        )
+
+    out: List[np.ndarray] = []
+    for s in range(num_dies):
+        adjacent = [
+            np.clip(np.asarray(arr, dtype=float), 0.0, 1.0)
+            for pair, arr in pair_densities.items()
+            if s in pair
+        ]
+        if not adjacent:
+            out.append(ones)
+            continue
+        density = adjacent[0]
+        for extra in adjacent[1:]:
+            density = np.maximum(density, extra)
+        out.append(atten(density))
+    return out
 
 
 @dataclass(frozen=True)
@@ -108,21 +203,25 @@ class FastThermalModel:
     def estimate(
         self,
         power_maps: Sequence[np.ndarray],
-        tsv_density: np.ndarray | None = None,
+        tsv_density=None,
     ) -> List[np.ndarray]:
-        """Per-die temperature maps (K) for the given power maps (W/cell)."""
-        if len(power_maps) != self.num_dies:
-            raise ValueError(f"expected {self.num_dies} power maps, got {len(power_maps)}")
-        shape = power_maps[0].shape
-        atten = np.ones(shape)
-        if tsv_density is not None:
-            atten = 1.0 - self.tsv_beta * np.clip(tsv_density, 0.0, 1.0)
+        """Per-die temperature maps (K) for the given power maps (W/cell).
+
+        ``tsv_density`` takes any of the forms of
+        :func:`per_die_attenuation`; the attenuation of each *source* die
+        comes from the interfaces adjacent to it, consistent with the
+        detailed solver (a single map is the (0, 1) interface and no
+        longer attenuates dies beyond 0 and 1).
+        """
+        shape = _validated_shapes(power_maps, self.num_dies)
+        atten = per_die_attenuation(self.num_dies, shape, tsv_density, self.tsv_beta)
+        # attenuate each source once; reused across all target dies
+        sources = [power_maps[s] * atten[s] for s in range(self.num_dies)]
         out: List[np.ndarray] = []
         for t in range(self.num_dies):
             temp = np.full(shape, self.ambient, dtype=float)
             for s in range(self.num_dies):
-                src = power_maps[s] * atten
-                temp += self._respond(src, self.masks[(s, t)])
+                temp += self._respond(sources[s], self.masks[(s, t)])
             out.append(temp)
         return out
 
@@ -141,16 +240,14 @@ class FastThermalModel:
         self,
         die: int,
         power_maps: Sequence[np.ndarray],
-        tsv_density: np.ndarray | None = None,
+        tsv_density=None,
     ) -> np.ndarray:
         """Temperature map of one die only (saves half the convolutions)."""
-        shape = power_maps[0].shape
-        atten = np.ones(shape)
-        if tsv_density is not None:
-            atten = 1.0 - self.tsv_beta * np.clip(tsv_density, 0.0, 1.0)
+        shape = _validated_shapes(power_maps, self.num_dies)
+        atten = per_die_attenuation(self.num_dies, shape, tsv_density, self.tsv_beta)
         temp = np.full(shape, self.ambient, dtype=float)
         for s in range(self.num_dies):
-            temp += self._respond(power_maps[s] * atten, self.masks[(s, die)])
+            temp += self._respond(power_maps[s] * atten[s], self.masks[(s, die)])
         return temp
 
 

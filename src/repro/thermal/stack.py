@@ -23,7 +23,7 @@ the package").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +41,13 @@ from .materials import (
     tsv_composite_vertical,
 )
 
-__all__ = ["Layer", "ThermalStack", "build_stack", "DEFAULT_DIMENSIONS"]
+__all__ = [
+    "Layer",
+    "ThermalStack",
+    "build_stack",
+    "normalize_tsv_densities",
+    "DEFAULT_DIMENSIONS",
+]
 
 
 @dataclass
@@ -119,10 +125,71 @@ def _uniform(material: Material, shape: Tuple[int, int]) -> Tuple[np.ndarray, np
     return k, k.copy(), np.full(shape, material.capacity)
 
 
+def normalize_tsv_densities(
+    stack_cfg: StackConfig,
+    grid: GridSpec,
+    tsv_density,
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Canonicalize the many accepted TSV-density forms to a per-pair dict.
+
+    Accepted forms:
+
+    * ``None`` — no TSVs anywhere (empty dict);
+    * a single ``(ny, nx)`` array — density of the (0, 1) interface, the
+      historical two-die calling convention;
+    * a mapping ``{(d, d+1): array}`` over adjacent die pairs;
+    * a sequence of arrays, one per adjacent pair in stack order.
+
+    Every array is shape-checked against the grid; unknown or
+    non-adjacent pairs are rejected.
+    """
+    shape = grid.shape
+    valid_pairs = set(stack_cfg.die_pairs()) or {(0, 1)}
+
+    def _check(arr: np.ndarray, pair: Tuple[int, int]) -> np.ndarray:
+        arr = np.asarray(arr, dtype=float)
+        if arr.shape != shape:
+            raise ValueError(
+                f"tsv_density for pair {pair}: shape {arr.shape} != grid shape {shape}"
+            )
+        return arr
+
+    if tsv_density is None:
+        return {}
+    if isinstance(tsv_density, np.ndarray):
+        return {(0, 1): _check(tsv_density, (0, 1))}
+    if isinstance(tsv_density, Mapping):
+        out: Dict[Tuple[int, int], np.ndarray] = {}
+        for pair, arr in tsv_density.items():
+            pair = (int(pair[0]), int(pair[1]))
+            if pair not in valid_pairs:
+                raise ValueError(
+                    f"tsv_density pair {pair} is not an adjacent pair of a "
+                    f"{stack_cfg.num_dies}-die stack"
+                )
+            out[pair] = _check(arr, pair)
+        return out
+    if isinstance(tsv_density, Sequence):
+        pairs = stack_cfg.die_pairs() or [(0, 1)]
+        if len(tsv_density) != len(pairs):
+            raise ValueError(
+                f"{len(tsv_density)} density maps given but the stack has "
+                f"{len(pairs)} adjacent die pairs; the sequence form must "
+                "cover every pair (use a {pair: array} mapping for a subset)"
+            )
+        return {
+            pair: _check(arr, pair) for pair, arr in zip(pairs, tsv_density)
+        }
+    raise TypeError(
+        "tsv_density must be None, an array, a {pair: array} mapping, or a "
+        f"sequence of arrays (got {type(tsv_density).__name__})"
+    )
+
+
 def build_stack(
     stack_cfg: StackConfig,
     grid: GridSpec,
-    tsv_density: np.ndarray | None = None,
+    tsv_density=None,
     dimensions: Dict[str, float] | None = None,
     r_top_area: float = 2.0e-5,
     r_bottom_area: float = 1.0e-3,
@@ -130,31 +197,32 @@ def build_stack(
     ambient: float = 293.0,
     copper_fill_fraction: float = 0.35,
 ) -> ThermalStack:
-    """Build the thermal stack for a two-die face-to-back 3D IC.
+    """Build the thermal stack for a face-to-back 3D IC.
 
-    ``tsv_density`` is the TSV *footprint* density map between die 0 and
-    die 1 (from ``Floorplan3D.tsv_density``); the copper fraction of a
-    footprint (barrel vs. keep-out) is ``copper_fill_fraction``.
+    ``tsv_density`` gives the TSV *footprint* density maps between
+    adjacent dies in any of the forms accepted by
+    :func:`normalize_tsv_densities` (single array = the (0, 1) interface;
+    per-pair mapping or sequence for taller stacks); the copper fraction
+    of a footprint (barrel vs. keep-out) is ``copper_fill_fraction``.
 
     TSVs act as vertical heat pipes in two ways: they raise the composite
     conductivity of the bond and thinned-bulk layers they pierce, and —
     because TSV landing pads stack onto micro-bumps and the package
     redistribution — they locally strengthen the secondary heat path
     (per-cell bottom resistance blends ``r_bottom_area`` toward
-    ``r_bottom_tsv_area`` with TSV density).  For stacks with more than
-    two dies the bond/bulk pattern repeats per tier (the paper evaluates
-    two dies; more are supported for future work).
+    ``r_bottom_tsv_area`` with TSV density).  The bond/bulk pattern
+    repeats per tier, each pierced by its own interface's TSVs; only the
+    (0, 1) density feeds the secondary-path blending, since only those
+    TSVs land on the package redistribution.
     """
     if dimensions is None:
         dimensions = DEFAULT_DIMENSIONS
     shape = grid.shape
-    if tsv_density is None:
-        tsv_density = np.zeros(shape)
-    if tsv_density.shape != shape:
-        raise ValueError(
-            f"tsv_density shape {tsv_density.shape} != grid shape {shape}"
-        )
-    copper = np.clip(tsv_density * copper_fill_fraction, 0.0, 1.0)
+    densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
+    zeros = np.zeros(shape)
+
+    def copper_for(pair: Tuple[int, int]) -> np.ndarray:
+        return np.clip(densities.get(pair, zeros) * copper_fill_fraction, 0.0, 1.0)
 
     layers: List[Layer] = []
 
@@ -162,7 +230,7 @@ def build_stack(
         kv, kl, cap = _uniform(material, shape)
         layers.append(Layer(name, thickness, kv, kl, cap, power_die))
 
-    def add_tsv_layer(name: str, base: Material, thickness: float) -> None:
+    def add_tsv_layer(name: str, base: Material, thickness: float, copper: np.ndarray) -> None:
         layers.append(
             Layer(
                 name,
@@ -173,13 +241,14 @@ def build_stack(
             )
         )
 
+    copper01 = copper_for((0, 1))
     # bottom die
     add_uniform("die0_bulk", SILICON, dimensions["bulk_thick"])
     add_uniform("die0_active", SILICON, dimensions["active"], power_die=0)
     add_uniform("die0_beol", BEOL, dimensions["beol"])
     # inter-die interface pierced by TSVs
-    add_tsv_layer("bond01", BOND, dimensions["bond"])
-    add_tsv_layer("die1_bulk", SILICON, dimensions["bulk_thin"])
+    add_tsv_layer("bond01", BOND, dimensions["bond"], copper01)
+    add_tsv_layer("die1_bulk", SILICON, dimensions["bulk_thin"], copper01)
     # top die
     add_uniform("die1_active", SILICON, dimensions["active"], power_die=1)
     add_uniform("die1_beol", BEOL, dimensions["beol"])
@@ -190,13 +259,29 @@ def build_stack(
 
     if stack_cfg.num_dies > 2:
         # additional tiers: repeat (bond, bulk, active, beol) above die1's
-        # BEOL, below the cooling assembly
+        # BEOL, below the cooling assembly; each tier's bond/bulk layers
+        # are pierced by its own interface's TSVs
         extra: List[Layer] = []
         for die in range(2, stack_cfg.num_dies):
-            kv, kl, cap = _uniform(BOND, shape)
-            extra.append(Layer(f"bond{die - 1}{die}", dimensions["bond"], kv, kl, cap))
-            kv, kl, cap = _uniform(SILICON, shape)
-            extra.append(Layer(f"die{die}_bulk", dimensions["bulk_thin"], kv, kl, cap))
+            copper_d = copper_for((die - 1, die))
+            extra.append(
+                Layer(
+                    f"bond{die - 1}{die}",
+                    dimensions["bond"],
+                    np.asarray(tsv_composite_vertical(BOND, copper_d)),
+                    np.asarray(tsv_composite_lateral(BOND, copper_d)),
+                    np.asarray(tsv_composite_capacity(BOND, copper_d)),
+                )
+            )
+            extra.append(
+                Layer(
+                    f"die{die}_bulk",
+                    dimensions["bulk_thin"],
+                    np.asarray(tsv_composite_vertical(SILICON, copper_d)),
+                    np.asarray(tsv_composite_lateral(SILICON, copper_d)),
+                    np.asarray(tsv_composite_capacity(SILICON, copper_d)),
+                )
+            )
             kv, kl, cap = _uniform(SILICON, shape)
             extra.append(Layer(f"die{die}_active", dimensions["active"], kv, kl, cap, power_die=die))
             kv, kl, cap = _uniform(BEOL, shape)
@@ -206,7 +291,8 @@ def build_stack(
 
     # blend the secondary-path resistance toward the micro-bump value in
     # TSV-dense cells: conductances add in parallel
-    g_cell = (1.0 - tsv_density) / r_bottom_area + tsv_density / r_bottom_tsv_area
+    density01 = densities.get((0, 1), zeros)
+    g_cell = (1.0 - density01) / r_bottom_area + density01 / r_bottom_tsv_area
     r_bottom_map = 1.0 / g_cell
 
     return ThermalStack(

@@ -1,25 +1,41 @@
 """Steady-state thermal solver (the detailed, HotSpot-role analysis).
 
 Solves ``G T = q + B * T_amb`` for the nodal temperatures of the full 3D
-RC network.  The sparse LU factorization is cached so that repeated solves
-over varying power maps — the Gaussian activity sampling of Sec. 6.2 runs
-100 of them — cost one back-substitution each.
+RC network.  Two levels of reuse keep repeated analyses cheap:
+
+* :class:`SteadyStateSolver` caches the sparse LU factorization of one
+  stack, and :meth:`SteadyStateSolver.solve_many` pushes a whole batch of
+  power-map sets through that single factorization (the Gaussian activity
+  sampling of Sec. 6.2 runs 100 solves — one back-substitution each);
+* :class:`SolverCache` memoizes whole solvers keyed by (grid shape, stack
+  configuration, TSV-density digest), so flow runs, verification,
+  exploration studies, and the mitigation loop stop re-assembling and
+  re-factorizing identical networks.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
+from ..layout.die import StackConfig
 from ..layout.floorplan import Floorplan3D
 from ..layout.grid import GridSpec
 from .rc_network import ThermalNetwork, assemble
-from .stack import ThermalStack, build_stack
+from .stack import ThermalStack, build_stack, normalize_tsv_densities
 
-__all__ = ["SteadyStateSolver", "ThermalResult", "solve_floorplan"]
+__all__ = [
+    "SteadyStateSolver",
+    "SolverCache",
+    "ThermalResult",
+    "solve_floorplan",
+    "default_solver_cache",
+]
 
 
 @dataclass
@@ -47,18 +63,143 @@ class SteadyStateSolver:
         self.network: ThermalNetwork = assemble(stack)
         self._lu = spla.splu(self.network.conductance)
 
-    def solve(self, power_maps: Sequence[np.ndarray]) -> ThermalResult:
-        """Solve for the given per-die power maps (W per cell)."""
-        q = self.network.power_vector(list(power_maps))
-        q = q + self.network.boundary * self.stack.ambient
-        t = self._lu.solve(q)
+    def _split(self, t: np.ndarray) -> List[np.ndarray]:
         grid = self.stack.grid
         npl = grid.nx * grid.ny
         die_maps: List[np.ndarray] = []
         for layer_idx, die in self.stack.power_layers():
             block = t[layer_idx * npl : (layer_idx + 1) * npl]
             die_maps.append(block.reshape(grid.shape).copy())
-        return ThermalResult(die_maps=die_maps, nodal=t)
+        return die_maps
+
+    def solve(self, power_maps: Sequence[np.ndarray]) -> ThermalResult:
+        """Solve for the given per-die power maps (W per cell)."""
+        q = self.network.power_vector(list(power_maps))
+        q = q + self.network.boundary * self.stack.ambient
+        t = self._lu.solve(q)
+        return ThermalResult(die_maps=self._split(t), nodal=t)
+
+    def solve_many(
+        self, power_map_sets: Sequence[Sequence[np.ndarray]]
+    ) -> List[ThermalResult]:
+        """Solve a batch of power-map sets against one LU factorization.
+
+        All right-hand sides are assembled into one (N, k) matrix and
+        back-substituted in a single call — for the 100-sample activity
+        sweeps this is far cheaper than 100 independent solves, and
+        incomparably cheaper than 100 re-factorizations.
+        """
+        sets = list(power_map_sets)
+        if not sets:
+            return []
+        ambient_q = self.network.boundary * self.stack.ambient
+        q = np.stack(
+            [self.network.power_vector(list(maps)) + ambient_q for maps in sets],
+            axis=1,
+        )
+        t = self._lu.solve(q)
+        return [
+            ThermalResult(die_maps=self._split(t[:, i]), nodal=t[:, i].copy())
+            for i in range(t.shape[1])
+        ]
+
+
+def _digest_array(arr: np.ndarray) -> str:
+    arr = np.ascontiguousarray(arr, dtype=float)
+    h = hashlib.sha1(arr.tobytes())
+    h.update(repr(arr.shape).encode())
+    return h.hexdigest()
+
+
+def _freeze_value(value):
+    """A hashable stand-in for one stack_kwargs value."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", _digest_array(value))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+class SolverCache:
+    """LRU cache of :class:`SteadyStateSolver` instances.
+
+    Keyed by (stack config, grid, TSV-density digest per die pair, extra
+    stack kwargs).  Identical networks are factorized exactly once; the
+    density digest makes reuse safe even when callers rebuild density
+    maps from scratch each time.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("cache needs room for at least one solver")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, SteadyStateSolver]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(
+        self,
+        stack_cfg: StackConfig,
+        grid: GridSpec,
+        densities: Dict[Tuple[int, int], np.ndarray],
+        stack_kwargs: dict,
+    ) -> tuple:
+        density_key = tuple(
+            (pair, _digest_array(arr)) for pair, arr in sorted(densities.items())
+        )
+        kwargs_key = tuple(
+            sorted((k, _freeze_value(v)) for k, v in stack_kwargs.items())
+        )
+        return (stack_cfg, grid, density_key, kwargs_key)
+
+    def solver(
+        self,
+        stack_cfg: StackConfig,
+        grid: GridSpec,
+        tsv_density=None,
+        **stack_kwargs,
+    ) -> SteadyStateSolver:
+        """The cached (or freshly built) solver for this exact network."""
+        densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
+        key = self._key(stack_cfg, grid, densities, stack_kwargs)
+        solver = self._entries.get(key)
+        if solver is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return solver
+        self.misses += 1
+        solver = SteadyStateSolver(
+            build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
+        )
+        self._entries[key] = solver
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return solver
+
+    def solver_for_floorplan(
+        self, floorplan: Floorplan3D, grid: GridSpec, **stack_kwargs
+    ) -> SteadyStateSolver:
+        """Solver for a floorplan's stack and *all* its TSV interfaces."""
+        densities = floorplan.tsv_densities(grid)
+        return self.solver(floorplan.stack, grid, densities, **stack_kwargs)
+
+
+_DEFAULT_CACHE = SolverCache(maxsize=8)
+
+
+def default_solver_cache() -> SolverCache:
+    """The process-wide solver cache shared by the flow entry points."""
+    return _DEFAULT_CACHE
 
 
 def solve_floorplan(
@@ -67,13 +208,17 @@ def solve_floorplan(
     activity: Dict[str, float] | None = None,
     stack_kwargs: Optional[dict] = None,
     solver: SteadyStateSolver | None = None,
+    cache: SolverCache | None = None,
 ) -> Tuple[ThermalResult, List[np.ndarray]]:
     """Detailed thermal analysis of a floorplan.
 
     Returns ``(thermal result, per-die power maps)``.  When ``solver`` is
     provided it is reused (its stack must match the floorplan's TSV
     arrangement — callers that only vary *power* can safely reuse it, as
-    the activity sampler does).
+    the activity sampler does).  Otherwise the solver comes from
+    ``cache`` (default: the process-wide cache), keyed by the TSV
+    densities of *all* adjacent die pairs — not just (0, 1) as older
+    revisions assumed.
     """
     grid = grid or GridSpec(floorplan.stack.outline)
     power_maps = [
@@ -81,7 +226,10 @@ def solve_floorplan(
         for d in range(floorplan.stack.num_dies)
     ]
     if solver is None:
-        density = floorplan.tsv_density((0, 1), grid)
-        stack = build_stack(floorplan.stack, grid, tsv_density=density, **(stack_kwargs or {}))
-        solver = SteadyStateSolver(stack)
+        # "is None" rather than truthiness: a fresh SolverCache has
+        # len() == 0 and must not be silently swapped for the global one
+        cache = cache if cache is not None else _DEFAULT_CACHE
+        solver = cache.solver_for_floorplan(
+            floorplan, grid, **(stack_kwargs or {})
+        )
     return solver.solve(power_maps), power_maps

@@ -137,3 +137,48 @@ class TestStudy:
     def test_peaks_physical(self, cells):
         for c in cells:
             assert 293.0 < c.peak_k < 600.0
+
+
+class TestRunBatch:
+    def test_serial_batch_runs_and_aggregates(self):
+        from repro.exploration.study import BatchJob, run_batch, summarize_batch
+
+        jobs = [
+            BatchJob(benchmark="n100", seed=s, iterations=40, grid=16)
+            for s in range(2)
+        ]
+        metrics = run_batch(jobs, processes=1)
+        assert len(metrics) == 2
+        assert all(m.benchmark == "n100" for m in metrics)
+        summary = summarize_batch(jobs, metrics)
+        assert set(summary) == {("n100", "power_aware")}
+        agg = summary[("n100", "power_aware")]
+        assert agg["runtime_s"] > 0
+        assert agg["wirelength_m"] == pytest.approx(
+            np.mean([m.wirelength_m for m in metrics])
+        )
+
+    def test_process_pool_batch(self):
+        from repro.exploration.study import BatchJob, run_batch
+
+        jobs = [
+            BatchJob(benchmark="n100", seed=s, iterations=30, grid=16)
+            for s in range(2)
+        ]
+        parallel = run_batch(jobs, processes=2)
+        serial = run_batch(jobs, processes=1)
+        # deterministic given seeds: pool and serial agree
+        for a, b in zip(parallel, serial):
+            assert a.correlation_r1 == pytest.approx(b.correlation_r1)
+            assert a.wirelength_m == pytest.approx(b.wirelength_m)
+
+    def test_empty_batch(self):
+        from repro.exploration.study import run_batch
+
+        assert run_batch([]) == []
+
+    def test_summarize_batch_length_mismatch(self):
+        from repro.exploration.study import BatchJob, summarize_batch
+
+        with pytest.raises(ValueError):
+            summarize_batch([BatchJob(benchmark="n100")], [])

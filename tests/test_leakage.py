@@ -71,6 +71,44 @@ class TestPearson:
         assert out.shape == (12, 12)
         assert out.mean() > 0.9
 
+    def test_local_correlation_map_matches_loop_reference(self):
+        """The integral-image version must reproduce the O(n*w^2) loop."""
+        from repro.leakage.pearson import local_correlation_map_loop
+
+        rng = np.random.default_rng(7)
+        for shape in ((12, 12), (9, 17), (5, 5)):
+            for window in (1, 3, 6):
+                p = rng.random(shape) * 1e-3
+                t = 293.0 + 40.0 * rng.random(shape)  # realistic K offset
+                fast = local_correlation_map(p, t, window=window)
+                ref = local_correlation_map_loop(p, t, window=window)
+                assert np.allclose(fast, ref, atol=1e-8), (shape, window)
+
+    def test_local_correlation_map_high_dynamic_range_matches_loop(self):
+        """One huge outlier must not zero out the map's cold windows.
+
+        The moment decomposition cancels catastrophically in windows far
+        from the outlier; those fall back to the exact two-pass formula.
+        """
+        from repro.leakage.pearson import local_correlation_map_loop
+
+        rng = np.random.default_rng(3)
+        p = rng.random((12, 12)) * 1e-3
+        p[5, 5] = 1e3
+        t = 293.0 + 40.0 * rng.random((12, 12)) + 0.05 * p
+        fast = local_correlation_map(p, t, window=3)
+        ref = local_correlation_map_loop(p, t, window=3)
+        assert np.allclose(fast, ref, atol=1e-8)
+
+    def test_local_correlation_map_constant_inputs_are_zero(self):
+        p = np.ones((10, 10))
+        t = np.full((10, 10), 300.0)
+        assert np.all(local_correlation_map(p, t, window=2) == 0.0)
+
+    def test_local_correlation_map_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            local_correlation_map(np.ones((4, 4)), np.ones((5, 5)))
+
 
 class TestStability:
     def _samples(self, m=10, shape=(6, 6), coupled=True, seed=0):
