@@ -12,7 +12,7 @@ import pytest
 from repro.benchmarks import load
 from repro.floorplan.moves import apply_random_move
 from repro.floorplan.objectives import CompiledNetlist, CostEvaluator, FloorplanMode
-from repro.floorplan.seqpair import LayoutState
+from repro.floorplan.seqpair import LayoutState, pack_die
 from repro.layout.grid import GridSpec
 from repro.leakage.entropy import spatial_entropy
 from repro.leakage.pearson import (
@@ -22,9 +22,11 @@ from repro.leakage.pearson import (
 )
 from repro.leakage.stability import stability_map
 from repro.power.assignment import AssignmentObjective, assign_voltages
+from repro.mitigation.activity import sample_power_maps, sample_power_maps_loop
 from repro.thermal.fast import FastThermalModel
 from repro.thermal.stack import build_stack
 from repro.thermal.steady_state import SteadyStateSolver
+from repro.thermal.transient import TransientSolver
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +68,52 @@ def test_wirelength_ibm03(benchmark, ibm03_state):
         cy[idx] = y + h / 2
         dd[idx] = state.die_of[name]
     benchmark(nl.wirelength, cx, cy, dd, 50.0)
+
+
+def _module_coords(nl, state):
+    positions = {}
+    sizes = {n: state.effective_size(n) for n in state.modules}
+    for pair in state.pairs:
+        pos, _, _ = pack_die(pair, {n: sizes[n] for n in pair.s1})
+        positions.update(pos)
+    cx = np.empty(nl.num_modules)
+    cy = np.empty(nl.num_modules)
+    dd = np.empty(nl.num_modules, dtype=np.int64)
+    for name, idx in nl.module_index.items():
+        x, y = positions[name]
+        w, h = sizes[name]
+        cx[idx] = x + w / 2
+        cy[idx] = y + h / 2
+        dd[idx] = state.die_of[name]
+    return cx, cy, dd
+
+
+def test_wirelength_per_move_dirty_ibm03(benchmark, ibm03_state):
+    """Per-net dirty recompute for a real move's shifted modules — what
+    one SA iteration pays for wirelength on an IBM-HB+-scale instance
+    (compare against test_wirelength_ibm03, the full recompute)."""
+    circ, stack, state = ibm03_state
+    nl = CompiledNetlist(list(circ.modules), circ.nets, circ.terminals)
+    rng = np.random.default_rng(7)
+    state = state.copy()
+    cx, cy, dd = _module_coords(nl, state)
+    # median-sized real move: apply moves until one shifts a typical count
+    moved_sets = []
+    while len(moved_sets) < 20:
+        candidate = state.copy()
+        apply_random_move(candidate, rng)
+        cx2, cy2, dd2 = _module_coords(nl, candidate)
+        moved = np.nonzero((cx2 != cx) | (cy2 != cy) | (dd2 != dd))[0]
+        if moved.size:
+            moved_sets.append(moved)
+        state, cx, cy, dd = candidate, cx2, cy2, dd2
+    moved = sorted(moved_sets, key=lambda m: m.size)[len(moved_sets) // 2]
+
+    def dirty_recompute():
+        dirty = nl.nets_touching(moved)
+        nl.wirelength_of(dirty, cx, cy, dd, 50.0)
+
+    benchmark(dirty_recompute)
 
 
 def test_spatial_entropy_64(benchmark):
@@ -189,6 +237,161 @@ def test_activity_sweep_refactorize_per_sample(benchmark, activity_sweep_setup):
             SteadyStateSolver(build_stack(stack, grid)).solve(maps)
 
     benchmark.pedantic(naive, rounds=1, iterations=1)
+
+
+# -- batched transient traces (Figure 1 path) -----------------------------------
+#
+# 16 activity traces through the backward-Euler integrator: run_many
+# back-substitutes all traces per step through one factorized step matrix
+# (plus vectorized per-die reductions); the loop variant is what
+# per-trace run calls used to cost.
+
+
+@pytest.fixture(scope="module")
+def transient_setup(n100_state):
+    _, stack, _ = n100_state
+    grid = GridSpec(stack.outline, 16, 16)
+    solver = TransientSolver(build_stack(stack, grid))
+    rng = np.random.default_rng(12)
+    cells = grid.nx * grid.ny
+
+    def make(p0, p1):
+        return lambda t: [p0, p1]
+
+    fns = [
+        make(rng.random(grid.shape) * 4.0 / cells, rng.random(grid.shape) * 4.0 / cells)
+        for _ in range(16)
+    ]
+    solver.run(fns[0], duration=0.01, dt=0.005)  # warm the factorization
+    return solver, fns
+
+
+def test_transient_traces_batched_run_many(benchmark, transient_setup):
+    solver, fns = transient_setup
+    benchmark(solver.run_many, fns, 0.05, 0.005)
+
+
+def test_transient_traces_per_trace_loop(benchmark, transient_setup):
+    solver, fns = transient_setup
+
+    def loop():
+        for fn in fns:
+            solver.run(fn, duration=0.05, dt=0.005)
+
+    benchmark(loop)
+
+
+# -- mitigation round at equal sample count (Sec. 6.2 path) -----------------------
+#
+# One full insertion round (100 activity samples, stability map,
+# speculative candidate scoring).  The "loop sampling" variant swaps the
+# batched Gaussian sampler for the per-sample rasterization loop — the
+# pre-batching round cost at the same sample count.
+
+
+@pytest.fixture(scope="module")
+def mitigation_floorplan(n100_state):
+    circ, stack, state = n100_state
+    return state.realize(circ.nets, circ.terminals, place_tsvs=False)
+
+
+_MITIGATION_CFG = dict(samples=100, tsvs_per_round=6, max_rounds=1,
+                       grid_nx=32, grid_ny=32, seed=5)
+
+
+def test_sample_power_maps_batched_n100(benchmark, mitigation_floorplan):
+    grid = GridSpec(mitigation_floorplan.stack.outline, 32, 32)
+    benchmark(sample_power_maps, mitigation_floorplan, grid, 100, 0.10, 3)
+
+
+def test_sample_power_maps_loop_n100(benchmark, mitigation_floorplan):
+    grid = GridSpec(mitigation_floorplan.stack.outline, 32, 32)
+    benchmark.pedantic(
+        sample_power_maps_loop,
+        args=(mitigation_floorplan, grid, 100, 0.10, 3),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_mitigation_round_batched_sampling(benchmark, mitigation_floorplan):
+    from repro.mitigation.dummy_tsv import MitigationConfig, insert_dummy_tsvs
+
+    benchmark(
+        insert_dummy_tsvs, mitigation_floorplan, MitigationConfig(**_MITIGATION_CFG)
+    )
+
+
+def test_mitigation_round_loop_sampling(benchmark, mitigation_floorplan, monkeypatch):
+    from repro.mitigation import dummy_tsv
+    from repro.mitigation.activity import sample_power_maps_loop
+
+    monkeypatch.setattr(dummy_tsv, "sample_power_maps", sample_power_maps_loop)
+    benchmark.pedantic(
+        dummy_tsv.insert_dummy_tsvs,
+        args=(mitigation_floorplan, dummy_tsv.MitigationConfig(**_MITIGATION_CFG)),
+        rounds=2,
+        iterations=1,
+    )
+
+
+# -- warm-cache batch sweeps ------------------------------------------------------
+#
+# (a) resuming a recorded sweep from the results store costs file reads,
+#     not flow re-runs; (b) a worker warming up against the shared
+#     on-disk solver cache loads persisted factors instead of
+#     re-factorizing.
+
+
+def test_run_batch_warm_store_resume(benchmark, tmp_path_factory):
+    from repro.core.store import ResultsStore
+    from repro.exploration.study import BatchJob, run_batch
+
+    root = tmp_path_factory.mktemp("store")
+    job = BatchJob(benchmark="n100", iterations=40, grid=16)
+    store = ResultsStore(root)
+    run_batch([job], processes=1, store=store)  # cold run, recorded once
+
+    def resume():
+        return run_batch([job], processes=1, store=store)
+
+    benchmark(resume)
+
+
+def test_run_batch_cold_flow(benchmark, tmp_path_factory):
+    """The cold counterpart of the resume bench: one actual flow run."""
+    from repro.exploration.study import BatchJob, run_batch
+
+    job = BatchJob(benchmark="n100", iterations=40, grid=16)
+    benchmark.pedantic(
+        run_batch, args=([job],), kwargs=dict(processes=1), rounds=1, iterations=1
+    )
+
+
+def test_solver_cache_warm_disk_load(benchmark, tmp_path_factory, n100_state):
+    from repro.thermal.steady_state import SolverCache
+
+    _, stack, _ = n100_state
+    grid = GridSpec(stack.outline, 32, 32)
+    disk = tmp_path_factory.mktemp("lucache")
+    SolverCache(disk_dir=disk).solver(stack, grid)  # persist once
+
+    def warm_worker():
+        SolverCache(disk_dir=disk).solver(stack, grid)
+
+    benchmark(warm_worker)
+
+
+def test_solver_cache_cold_factorize(benchmark, n100_state):
+    from repro.thermal.steady_state import SolverCache
+
+    _, stack, _ = n100_state
+    grid = GridSpec(stack.outline, 32, 32)
+
+    def cold_worker():
+        SolverCache().solver(stack, grid)
+
+    benchmark(cold_worker)
 
 
 # -- vectorized local correlation map -------------------------------------------

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare a pytest-benchmark run to a baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_kernels.py \
+        -k "<tracked subset>" --benchmark-json=bench-run.json
+    python benchmarks/check_bench_regression.py bench-run.json
+    python benchmarks/check_bench_regression.py bench-run.json --update
+
+The baseline (``benchmarks/BENCH_baseline.json``) records the mean
+seconds of each *tracked* kernel plus a machine *calibration* time — a
+fixed numpy/scipy workload timed on the machine that recorded the
+baseline.  At gate time the same workload is timed again and every
+baseline mean is scaled by the observed speed ratio, so a committed
+baseline gates meaningfully on slower CI runners and faster workstations
+alike.  A run fails when any tracked kernel's mean exceeds its scaled
+baseline by more than the threshold (recorded in the baseline at
+``--update`` time; overridable with ``--threshold``).
+
+Tracked kernels missing from the run are reported but do not fail — CI
+may gate on a subset; kernels in the run but not the baseline are listed
+so they can be adopted with ``--update``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+
+#: the kernels the gate tracks: fast, compute-bound, low-variance
+TRACKED = [
+    "test_pack_ibm03",
+    "test_wirelength_ibm03",
+    "test_wirelength_per_move_dirty_ibm03",
+    "test_anneal_iteration_incremental_n100",
+    "test_activity_sweep_batched_lu_reuse",
+    "test_sample_power_maps_batched_n100",
+    "test_transient_traces_batched_run_many",
+    "test_local_correlation_map_vectorized_64",
+    "test_detailed_solve_32",
+]
+
+
+def calibration_time(repeats: int = 5) -> float:
+    """Seconds for a fixed workload shaped like the tracked kernels.
+
+    Mixes a sparse factorization + back-substitution (the solver-bound
+    kernels) with dense elementwise/reduction work (the numpy-bound
+    ones).  The minimum over ``repeats`` runs is the least noisy estimate
+    of machine speed.
+    """
+    rng = np.random.default_rng(0)
+    n = 72
+    lap = sp.diags(
+        [4.0] * (n * n), 0
+    ) - sp.diags([1.0] * (n * n - 1), 1) - sp.diags([1.0] * (n * n - 1), -1) \
+        - sp.diags([1.0] * (n * n - n), n) - sp.diags([1.0] * (n * n - n), -n)
+    lap = lap.tocsc()
+    rhs = rng.random((n * n, 100))
+    dense = rng.random((512, 512))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        lu = spla.splu(lap)
+        lu.solve(rhs)
+        for _ in range(40):
+            (dense * dense + np.sqrt(dense)).sum(axis=0)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def load_means(run_path: Path) -> dict:
+    data = json.loads(run_path.read_text())
+    return {
+        bench["name"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail on scaled mean slowdowns beyond this factor "
+                             "(default: the baseline's recorded threshold)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run instead of gating")
+    args = parser.parse_args(argv)
+
+    means = load_means(args.run)
+    calibration = calibration_time()
+
+    if args.update:
+        tracked = {name: means[name] for name in TRACKED if name in means}
+        missing = [name for name in TRACKED if name not in means]
+        if missing:
+            print(f"warning: run lacks tracked kernels: {', '.join(missing)}")
+        threshold = args.threshold
+        if threshold is None and args.baseline.exists():
+            # a refresh keeps the previously chosen tolerance sticky
+            threshold = json.loads(args.baseline.read_text()).get("threshold")
+        payload = {
+            "threshold": threshold if threshold is not None else 1.5,
+            "calibration": calibration,
+            "tracked": tracked,
+        }
+        args.baseline.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated with {len(tracked)} kernels "
+              f"(calibration {calibration * 1e3:.1f}ms) -> {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run with --update first")
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    threshold = (
+        args.threshold if args.threshold is not None
+        else float(baseline.get("threshold", 1.5))
+    )
+    scale = calibration / float(baseline.get("calibration", calibration))
+    print(f"machine speed scale vs baseline: {scale:.2f}x "
+          f"(calibration {calibration * 1e3:.1f}ms); threshold {threshold:.2f}x")
+
+    failures = []
+    tracked = baseline["tracked"]
+    width = max((len(n) for n in tracked), default=10)
+    for name, base_mean in sorted(tracked.items()):
+        run_mean = means.get(name)
+        if run_mean is None:
+            print(f"{name:<{width}}  SKIP (not in this run)")
+            continue
+        ratio = run_mean / (base_mean * scale)
+        status = "OK" if ratio <= threshold else "FAIL"
+        print(f"{name:<{width}}  {base_mean * 1e3:9.3f}ms -> {run_mean * 1e3:9.3f}ms"
+              f"  {ratio:5.2f}x  {status}")
+        if status == "FAIL":
+            failures.append((name, ratio))
+
+    untracked = sorted(set(means) - set(tracked))
+    if untracked:
+        print(f"note: kernels not in baseline: {', '.join(untracked)}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel(s) slowed past "
+              f"{threshold:.2f}x the committed (speed-scaled) baseline")
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,7 +114,7 @@ def run_covert_channel(
     # sample the receiver cell over time: re-run with a recording wrapper
     readings: List[float] = []
     net = solver.network
-    solver._factorize(dt)
+    lu = solver._factorize(dt)
     temp = np.full(net.num_nodes, solver.stack.ambient)
     layer_idx = [li for li, d in solver.stack.power_layers() if d == receiver_die][0]
     npl = grid.nx * grid.ny
@@ -124,7 +124,7 @@ def run_covert_channel(
         t_mid = (step + 0.5) * dt
         q = net.power_vector(list(power_at(t_mid)))
         rhs = c_over_dt * temp + q + net.boundary * solver.stack.ambient
-        temp = solver._lu.solve(rhs)
+        temp = lu.solve(rhs)
         if (step + 1) % steps_per_bit == 0:
             block = temp[layer_idx * npl : (layer_idx + 1) * npl].reshape(grid.shape)
             readings.append(float(block[j, i]))

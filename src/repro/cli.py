@@ -4,7 +4,8 @@ Examples::
 
     python -m repro.cli flow n100 --mode tsc_aware --iterations 2000
     python -m repro.cli sweep n100 n300 --runs 3
-    python -m repro.cli batch n100 n300 --modes power_aware tsc_aware --seeds 4 -j 8
+    python -m repro.cli batch n100 n300 --modes power_aware tsc_aware --seeds 4 -j 8 \
+        --store runs/sweep1 --cache-dir runs/cache
     python -m repro.cli explore --grid 32
     python -m repro.cli benchmarks
 
@@ -79,6 +80,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    from .core.store import ResultsStore
     from .exploration.study import BatchJob, run_batch, summarize_batch
 
     if args.seeds < 1:
@@ -95,10 +97,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for bench in args.benchmarks
         for seed in range(args.seeds)
     ]
+    store = ResultsStore(args.store) if args.store else None
+    if store is not None:
+        done = store.completed()
+        resumed = sum(1 for job in jobs if job.key() in done)
+        if resumed:
+            print(f"resuming from {args.store}: {resumed}/{len(jobs)} jobs "
+                  "already recorded")
     print(f"running {len(jobs)} flow jobs "
           f"({len(args.benchmarks)} benchmarks x {len(args.modes)} modes x "
           f"{args.seeds} seeds) on {args.processes or 'auto'} processes")
-    results = run_batch(jobs, processes=args.processes)
+    results = run_batch(
+        jobs, processes=args.processes, store=store, cache_dir=args.cache_dir
+    )
     summary = summarize_batch(jobs, results)
     for mode in args.modes:
         rows = {
@@ -169,6 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("-j", "--processes", type=int, default=None,
                          help="pool size (default: min(jobs, cpu count); "
                               "1 = serial)")
+    p_batch.add_argument("--store", default=None, metavar="DIR",
+                         help="append-only results store; finished jobs "
+                              "persist immediately and re-runs resume by "
+                              "skipping recorded jobs")
+    p_batch.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared on-disk solver/model cache for pool "
+                              "workers (identical stacks factorize once "
+                              "across the whole sweep)")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_exp = sub.add_parser("explore", help="Sec. 3 power x TSV study")

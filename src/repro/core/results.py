@@ -55,6 +55,23 @@ class FlowMetrics:
             out[name] = getattr(self, name)
         return out
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float | str | bool]) -> "FlowMetrics":
+        """Rebuild a record from :meth:`to_dict` output (results store)."""
+        kwargs = {
+            "benchmark": str(data["benchmark"]),
+            "mode": str(data["mode"]),
+            "feasible": bool(data.get("feasible", True)),
+        }
+        for name in cls._NUMERIC:
+            value = data[name]
+            kwargs[name] = (
+                int(value)
+                if name in ("signal_tsvs", "dummy_tsvs", "voltage_volumes")
+                else float(value)
+            )
+        return cls(**kwargs)
+
 
 def aggregate_metrics(runs: Sequence[FlowMetrics]) -> Dict[str, float]:
     """Mean of every numeric metric over a set of runs (Table 2 averages)."""

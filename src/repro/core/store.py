@@ -1,0 +1,234 @@
+"""Persisted sweep artifacts: an append-only results store and cache dirs.
+
+Paper-scale sweeps (50 seeds x six benchmarks x two setups) run for
+hours; losing everything to one interruption — or keeping every
+:class:`~repro.core.results.FlowMetrics` only in worker memory — caps the
+scale a study can reach.  :class:`ResultsStore` makes each completed flow
+durable the moment it finishes:
+
+* records append to ``results.jsonl`` (one JSON object per line), so an
+  interrupted sweep resumes by skipping every job key already present;
+* a torn final line (the process died mid-write) is ignored on load,
+  keeping the file valid after any crash;
+* the same records export to Parquet for analysis stacks when
+  ``pyarrow`` is installed (gated — the core flow never needs it).
+
+The module also persists calibrated fast-thermal models (the
+power-blurring masks are a handful of floats) so pool workers stop
+re-deriving them per process; the heavyweight sibling — persisted LU
+factors of the detailed solver — lives with
+:class:`~repro.thermal.steady_state.SolverCache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .results import FlowMetrics
+
+__all__ = [
+    "ResultsStore",
+    "artifact_digest",
+    "persist_atomic",
+    "save_thermal_model",
+    "load_thermal_model",
+]
+
+#: bump when the record layout changes; loaders skip newer-schema lines
+_SCHEMA = 1
+
+
+def artifact_digest(*parts: object) -> str:
+    """Stable filename-safe digest of ``repr``-able cache-key parts."""
+    h = hashlib.sha1()
+    for part in parts:
+        h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def persist_atomic(path: Path, write_tmp) -> None:
+    """Race- and crash-tolerant persist shared by all cache writers.
+
+    ``write_tmp(tmp_base)`` writes the payload and returns the path it
+    actually wrote (some writers, like ``np.savez``, append their own
+    extension).  Temp names are per-process and the final rename is
+    atomic, so pool workers racing to persist the same artifact cannot
+    corrupt it; an existing file wins (cached artifacts are deterministic
+    functions of their key), and any OS-level failure is swallowed — a
+    cache is an optimization, not a ledger.
+    """
+    path = Path(path)
+    if path.exists():
+        return
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    written = None
+    try:
+        written = Path(write_tmp(tmp))
+        os.replace(written, path)
+    except OSError:
+        # clean up whatever the failed writer left (write_tmp may have
+        # died before returning its actual output name, e.g. disk-full
+        # mid-np.savez) so shared cache dirs don't accumulate junk
+        candidates = {tmp, Path(str(tmp) + ".npz")}
+        if written is not None:
+            candidates.add(written)
+        for leftover in candidates:
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+
+
+class ResultsStore:
+    """Append-only JSONL store of per-job :class:`FlowMetrics`.
+
+    Keys are caller-defined job identities (see ``BatchJob.key()``); the
+    last record per key wins, so re-running a job simply supersedes it.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "results.jsonl"
+        #: parsed records memoized against the file's (mtime_ns, size) —
+        #: resuming a large sweep reads the JSONL once, not per caller
+        self._cache_stamp: Optional[Tuple[int, int]] = None
+        self._cache: Dict[str, FlowMetrics] = {}
+
+    def __len__(self) -> int:
+        return len(self.completed())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed()
+
+    def _ends_with_newline(self) -> bool:
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) == b"\n"
+        except (OSError, ValueError):  # absent or empty file
+            return True
+
+    def append(self, key: str, metrics: FlowMetrics) -> None:
+        """Durably record one finished job (flushed + fsynced per line)."""
+        record = {"schema": _SCHEMA, "key": key, "metrics": metrics.to_dict()}
+        line = json.dumps(record, sort_keys=True)
+        # a torn final line (crash mid-append) must not swallow this
+        # record too: terminate it first so we always start a fresh line
+        heal = not self._ends_with_newline()
+        with open(self.path, "a", encoding="utf-8") as fh:
+            if heal:
+                fh.write("\n")
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _records(self) -> Iterator[Tuple[str, FlowMetrics]]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("schema", 0) > _SCHEMA:
+                        continue
+                    yield record["key"], FlowMetrics.from_dict(record["metrics"])
+                except (ValueError, KeyError, TypeError):
+                    # torn or foreign line (e.g. the process died
+                    # mid-append); everything before it is still good
+                    continue
+
+    def _stamp(self) -> Optional[Tuple[int, int]]:
+        try:
+            st = self.path.stat()
+            return (st.st_mtime_ns, st.st_size)
+        except OSError:
+            return None
+
+    def completed(self) -> Dict[str, FlowMetrics]:
+        """All durable results, keyed by job key (last record wins)."""
+        stamp = self._stamp()
+        if stamp is None:
+            return {}
+        if stamp != self._cache_stamp:
+            self._cache = dict(self._records())
+            self._cache_stamp = stamp
+        return dict(self._cache)
+
+    def keys(self) -> List[str]:
+        return list(self.completed())
+
+    def to_parquet(self, path: str | Path | None = None) -> Path:
+        """Export the store to a Parquet file (requires ``pyarrow``)."""
+        try:
+            import pyarrow as pa
+            import pyarrow.parquet as pq
+        except ImportError as exc:  # pragma: no cover - optional dep
+            raise RuntimeError(
+                "Parquet export needs pyarrow; the JSONL store at "
+                f"{self.path} remains the source of truth"
+            ) from exc
+        rows = [
+            {"key": key, **metrics.to_dict()}
+            for key, metrics in self.completed().items()
+        ]
+        out = Path(path) if path is not None else self.root / "results.parquet"
+        pq.write_table(pa.Table.from_pylist(rows), out)
+        return out
+
+
+# -- calibrated fast-thermal model persistence -----------------------------------
+
+
+def save_thermal_model(path: str | Path, model) -> None:
+    """Persist a :class:`~repro.thermal.fast.FastThermalModel`'s masks."""
+    payload = {
+        "schema": _SCHEMA,
+        "num_dies": model.num_dies,
+        "tsv_beta": model.tsv_beta,
+        "ambient": model.ambient,
+        "masks": {
+            f"{s},{t}": {
+                "amplitude": p.amplitude,
+                "sigma": p.sigma,
+                "amplitude_global": p.amplitude_global,
+                "sigma_global": p.sigma_global,
+            }
+            for (s, t), p in model.masks.items()
+        },
+    }
+    def write(tmp: Path) -> Path:
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        return tmp
+
+    persist_atomic(path, write)
+
+
+def load_thermal_model(path: str | Path):
+    """The persisted model at ``path``, or None when absent/unreadable."""
+    from ..thermal.fast import FastThermalModel, MaskParams
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("schema", 0) > _SCHEMA:
+            return None
+        masks = {
+            tuple(int(x) for x in key.split(",")): MaskParams(**params)
+            for key, params in payload["masks"].items()
+        }
+        return FastThermalModel(
+            num_dies=int(payload["num_dies"]),
+            masks=masks,
+            tsv_beta=float(payload["tsv_beta"]),
+            ambient=float(payload["ambient"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None

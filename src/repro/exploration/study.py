@@ -20,13 +20,15 @@ for Table 2-style studies at paper-scale replication counts.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.results import FlowMetrics, aggregate_metrics
+from ..core.store import ResultsStore
 from ..floorplan.objectives import FloorplanMode
 from ..layout.die import StackConfig
 from ..layout.grid import GridSpec
@@ -158,6 +160,28 @@ class BatchJob:
     def label(self) -> str:
         return f"{self.benchmark}/{self.mode}/seed{self.seed}"
 
+    def key(self) -> str:
+        """Stable identity of this job in a results store.
+
+        Every field that changes the outcome participates, so resuming a
+        sweep with different knobs never reuses a stale record.
+        """
+        return (
+            f"{self.benchmark}|{self.mode}|seed{self.seed}"
+            f"|it{self.iterations}|grid{self.grid}|dies{self.num_dies}"
+        )
+
+
+def _init_batch_worker(cache_dir: Optional[str]) -> None:
+    """Point a worker's process-wide caches at the shared on-disk layer."""
+    if cache_dir is None:
+        return
+    from ..floorplan.objectives import set_model_cache_dir
+    from ..thermal.steady_state import default_solver_cache
+
+    default_solver_cache().disk_dir = Path(cache_dir)
+    set_model_cache_dir(cache_dir)
+
 
 def _execute_batch_job(job: BatchJob) -> FlowMetrics:
     # local imports keep worker start-up lean and avoid an import cycle
@@ -183,22 +207,84 @@ def _execute_batch_job(job: BatchJob) -> FlowMetrics:
 def run_batch(
     jobs: Iterable[BatchJob],
     processes: Optional[int] = None,
+    store: Union[ResultsStore, str, Path, None] = None,
+    cache_dir: Union[str, Path, None] = None,
 ) -> List[FlowMetrics]:
     """Run many flow invocations, fanning out across a process pool.
 
     ``processes=None`` sizes the pool to ``min(len(jobs), cpu_count)``;
     ``processes<=1`` runs serially in-process (useful under profilers and
     in tests).  Results come back in job order.
+
+    ``store`` (a :class:`~repro.core.store.ResultsStore` or a directory
+    path) makes the sweep durable and resumable: jobs whose key is
+    already recorded are returned from the store without re-running, and
+    every newly finished job is appended the moment it completes — an
+    interrupted 50-seed sweep loses at most the in-flight flows.
+
+    ``cache_dir`` names a shared on-disk cache directory: workers persist
+    detailed-solver factorizations and calibrated fast-thermal models
+    there, so identical stacks warm up once across the whole pool (and
+    across re-runs) instead of once per process.
     """
     jobs = list(jobs)
     if not jobs:
         return []
+    if isinstance(store, (str, Path)):
+        store = ResultsStore(store)
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    done = store.completed() if store is not None else {}
+    results: List[Optional[FlowMetrics]] = [done.get(job.key()) for job in jobs]
+    pending = [i for i, r in enumerate(results) if r is None]
+    if not pending:
+        return results  # fully resumed from the store
+
+    def record(index: int, metrics: FlowMetrics) -> None:
+        results[index] = metrics
+        if store is not None:
+            store.append(jobs[index].key(), metrics)
+
     if processes is None:
-        processes = min(len(jobs), os.cpu_count() or 1)
-    if processes <= 1 or len(jobs) == 1:
-        return [_execute_batch_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(_execute_batch_job, jobs))
+        processes = min(len(pending), os.cpu_count() or 1)
+    if processes <= 1 or len(pending) == 1:
+        # the serial path configures the *current* process's caches; put
+        # them back afterwards so library callers see no lasting change
+        from ..floorplan.objectives import model_cache_dir, set_model_cache_dir
+        from ..thermal.steady_state import default_solver_cache
+
+        prev_disk = default_solver_cache().disk_dir
+        prev_model = model_cache_dir()
+        try:
+            _init_batch_worker(cache_dir)
+            for i in pending:
+                record(i, _execute_batch_job(jobs[i]))
+        finally:
+            cache = default_solver_cache()
+            cache.disk_dir = prev_disk
+            # disk-loaded solvers solve through triangular substitution;
+            # they must not keep serving later same-process callers
+            cache.drop_persisted_solvers()
+            set_model_cache_dir(prev_model)
+        return results
+    with ProcessPoolExecutor(
+        max_workers=processes,
+        initializer=_init_batch_worker,
+        initargs=(cache_dir,),
+    ) as pool:
+        futures = {pool.submit(_execute_batch_job, jobs[i]): i for i in pending}
+        # drain every future before raising: one failed flow must not
+        # discard the siblings that finished after it (they are recorded
+        # durably, so the re-run resumes past them)
+        first_error: Optional[BaseException] = None
+        for future in as_completed(futures):
+            try:
+                record(futures[future], future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+    return results
 
 
 def summarize_batch(

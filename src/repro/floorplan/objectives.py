@@ -47,6 +47,25 @@ __all__ = [
 #: flow runs over the same benchmark (sweeps, batches) calibrate once
 _CALIBRATED_MODELS: Dict[Tuple[StackConfig, GridSpec], FastThermalModel] = {}
 
+#: optional cross-process persistence of calibrated masks (sweep workers)
+_MODEL_CACHE_DIR: Optional[str] = None
+
+
+def set_model_cache_dir(path: Optional[str]) -> None:
+    """Persist calibrated thermal models under ``path`` (None disables).
+
+    Batch-sweep workers point this at a shared directory so each
+    (stack, grid) calibrates once across the *whole pool* instead of once
+    per process; see :func:`~repro.exploration.study.run_batch`.
+    """
+    global _MODEL_CACHE_DIR
+    _MODEL_CACHE_DIR = str(path) if path is not None else None
+
+
+def model_cache_dir() -> Optional[str]:
+    """The currently configured model-persistence directory (or None)."""
+    return _MODEL_CACHE_DIR
+
 
 def calibrated_thermal_model(stack: StackConfig, grid: GridSpec) -> FastThermalModel:
     """Fit (or reuse) the power-blurring masks for this outline and grid.
@@ -57,13 +76,30 @@ def calibrated_thermal_model(stack: StackConfig, grid: GridSpec) -> FastThermalM
     """
     key = (stack, grid)
     model = _CALIBRATED_MODELS.get(key)
+    if model is not None:
+        return model
+    model_path = None
+    if _MODEL_CACHE_DIR is not None:
+        import os
+
+        from ..core.store import artifact_digest, load_thermal_model
+
+        os.makedirs(_MODEL_CACHE_DIR, exist_ok=True)
+        model_path = os.path.join(
+            _MODEL_CACHE_DIR, f"fastmodel-{artifact_digest(stack, grid)}.json"
+        )
+        model = load_thermal_model(model_path)
     if model is None:
         from ..thermal.fast import calibrate as _calibrate
         from ..thermal.steady_state import default_solver_cache
 
         solver = default_solver_cache().solver(stack, grid)
         model = _calibrate(solver, grid, num_dies=stack.num_dies)
-        _CALIBRATED_MODELS[key] = model
+        if model_path is not None:
+            from ..core.store import save_thermal_model
+
+            save_thermal_model(model_path, model)
+    _CALIBRATED_MODELS[key] = model
     return model
 
 
@@ -192,10 +228,33 @@ class CompiledNetlist:
         self.sink_counts = np.asarray(sink_counts, dtype=np.int64)
         self.num_modules = len(module_names)
         self.module_names = list(module_names)
+        # module -> nets adjacency (CSR over pin occurrences), backing the
+        # per-net dirty tracking of the incremental evaluator
+        lengths = np.diff(self.ptr)
+        net_of_pin = np.repeat(
+            np.arange(len(kept_nets), dtype=np.int64), lengths
+        )
+        order = np.argsort(self.pin_idx, kind="stable")
+        self._mod_net_idx = net_of_pin[order]
+        self._mod_net_ptr = np.searchsorted(
+            self.pin_idx[order], np.arange(self.num_modules + 1)
+        )
 
     @property
     def num_nets(self) -> int:
         return len(self.nets)
+
+    def nets_touching(self, module_indices: Sequence[int]) -> np.ndarray:
+        """Unique indices of nets with a pin on any of the given modules."""
+        if self.num_nets == 0:
+            return np.zeros(0, dtype=np.int64)
+        chunks = [
+            self._mod_net_idx[self._mod_net_ptr[m] : self._mod_net_ptr[m + 1]]
+            for m in module_indices
+        ]
+        if not chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))
 
     def wirelength(
         self,
@@ -224,6 +283,49 @@ class CompiledNetlist:
         crossings = (max_d - min_d).astype(np.int64)
         hpwl = (hi_x - lo_x) + (hi_y - lo_y) + crossings * tsv_length
         return float(hpwl.sum()), int(crossings.sum()), hpwl, crossings
+
+    def wirelength_of(
+        self,
+        net_idx: np.ndarray,
+        centers_x: np.ndarray,
+        centers_y: np.ndarray,
+        dies: np.ndarray,
+        tsv_length: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-net HPWL and crossings for ``net_idx`` only.
+
+        Gathers exactly the selected nets' pin runs and applies the same
+        ``reduceat`` arithmetic as :meth:`wirelength`, so the returned
+        entries are bit-identical to the corresponding entries of a full
+        recompute — the property the incremental evaluator relies on.
+        """
+        net_idx = np.asarray(net_idx, dtype=np.int64)
+        if net_idx.size == 0:
+            return np.zeros(0), np.zeros(0, dtype=np.int64)
+        starts = self.ptr[net_idx]
+        lengths = self.ptr[net_idx + 1] - starts
+        offsets = np.zeros(net_idx.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        flat = np.arange(int(lengths.sum()), dtype=np.int64) + np.repeat(
+            starts - offsets, lengths
+        )
+        pins = self.pin_idx[flat]
+        px = centers_x[pins]
+        py = centers_y[pins]
+        pd = dies[pins]
+        max_x = np.maximum.reduceat(px, offsets)
+        min_x = np.minimum.reduceat(px, offsets)
+        max_y = np.maximum.reduceat(py, offsets)
+        min_y = np.minimum.reduceat(py, offsets)
+        max_d = np.maximum.reduceat(pd, offsets)
+        min_d = np.minimum.reduceat(pd, offsets)
+        hi_x = np.maximum(max_x, self.term_max_x[net_idx])
+        lo_x = np.minimum(min_x, self.term_min_x[net_idx])
+        hi_y = np.maximum(max_y, self.term_max_y[net_idx])
+        lo_y = np.minimum(min_y, self.term_min_y[net_idx])
+        crossings = (max_d - min_d).astype(np.int64)
+        hpwl = (hi_x - lo_x) + (hi_y - lo_y) + crossings * tsv_length
+        return hpwl, crossings
 
 
 @dataclass
@@ -261,6 +363,11 @@ class _Snapshot:
     die_power: List[float]
     wirelength: float = 0.0
     tsv_crossings: int = 0
+    #: per-net HPWL / crossings backing the per-net dirty tracking; the
+    #: totals above are always full sums over these arrays, so the
+    #: incremental path is bit-identical to a full recompute
+    net_hpwl: Optional[np.ndarray] = None
+    net_crossings: Optional[np.ndarray] = None
     outline: float = 0.0
     area: float = 0.0
     die_assignment: float = 0.0
@@ -320,8 +427,9 @@ class CostEvaluator:
         self._pending: Optional[_Snapshot] = None
         self._assignment_stamp = 0
         self._total_nominal_power: Optional[float] = None
-        #: observability: how many evaluations took which path
-        self.eval_stats = {"full": 0, "incremental": 0}
+        #: observability: how many evaluations took which path, and how
+        #: many nets the per-net dirty path actually recomputed
+        self.eval_stats = {"full": 0, "incremental": 0, "dirty_nets": 0}
 
     # -- plumbing ---------------------------------------------------------------
     def _compiled(self, state: LayoutState) -> CompiledNetlist:
@@ -344,14 +452,41 @@ class CostEvaluator:
         return self._total_nominal_power
 
     # -- snapshot construction ------------------------------------------------------
-    def _finish_cheap(self, state: LayoutState, snap: "_Snapshot") -> None:
-        """Derive the cheap cost terms from the snapshot's geometry."""
+    def _finish_cheap(
+        self,
+        state: LayoutState,
+        snap: "_Snapshot",
+        moved: Optional[np.ndarray] = None,
+    ) -> None:
+        """Derive the cheap cost terms from the snapshot's geometry.
+
+        ``moved`` (module indices whose centre or die actually changed
+        relative to the committed baseline) switches wirelength to the
+        per-net dirty path: only nets touching a moved module are
+        recomputed, everything else keeps its cached per-net value.  The
+        totals are full sums over the per-net arrays either way, so both
+        paths produce bit-identical results.
+        """
         nl = self._compiled(state)
-        wl, crossings, _, _ = nl.wirelength(
-            snap.cx, snap.cy, snap.dd, self.tsv_length_um
+        if moved is None or snap.net_hpwl is None or snap.net_crossings is None:
+            _, _, hpwl, crossings = nl.wirelength(
+                snap.cx, snap.cy, snap.dd, self.tsv_length_um
+            )
+            snap.net_hpwl = hpwl
+            snap.net_crossings = crossings
+        else:
+            dirty_nets = nl.nets_touching(moved)
+            if dirty_nets.size:
+                h, c = nl.wirelength_of(
+                    dirty_nets, snap.cx, snap.cy, snap.dd, self.tsv_length_um
+                )
+                snap.net_hpwl[dirty_nets] = h
+                snap.net_crossings[dirty_nets] = c
+            self.eval_stats["dirty_nets"] += int(dirty_nets.size)
+        snap.wirelength = float(snap.net_hpwl.sum()) if snap.net_hpwl.size else 0.0
+        snap.tsv_crossings = (
+            int(snap.net_crossings.sum()) if snap.net_crossings.size else 0
         )
-        snap.wirelength = wl
-        snap.tsv_crossings = crossings
         outline = self.stack.outline
         over = 0.0
         fill = 0.0
@@ -414,6 +549,10 @@ class CostEvaluator:
             cy=base.cy.copy(),
             dd=base.dd.copy(),
             die_power=list(base.die_power),
+            net_hpwl=None if base.net_hpwl is None else base.net_hpwl.copy(),
+            net_crossings=(
+                None if base.net_crossings is None else base.net_crossings.copy()
+            ),
             power_maps=None if base.power_maps is None else list(base.power_maps),
             entropies=None if base.entropies is None else list(base.entropies),
             stale_power=set(base.stale_power) | set(dirty),
@@ -441,7 +580,17 @@ class CostEvaluator:
             snap.cx[idx] = x + w / 2.0
             snap.cy[idx] = y + h / 2.0
             snap.dd[idx] = state.die_of[n]
-        self._finish_cheap(state, snap)
+        # repacking a die usually shifts only part of it: nets are dirty
+        # only where a pin's centre or die assignment actually changed
+        touched_idx = np.fromiter(
+            (nl.module_index[n] for n in touched), dtype=np.int64, count=len(touched)
+        )
+        moved_mask = (
+            (snap.cx[touched_idx] != base.cx[touched_idx])
+            | (snap.cy[touched_idx] != base.cy[touched_idx])
+            | (snap.dd[touched_idx] != base.dd[touched_idx])
+        )
+        self._finish_cheap(state, snap, moved=touched_idx[moved_mask])
         return snap
 
     # -- term computation ---------------------------------------------------------

@@ -11,8 +11,17 @@ The post-processing stage of the flow:
    the stop criterion is the "sweet spot where further TSV insertion
    would increase the overall correlation again" (Sec. 6.2, 7.1).
 
+Each round evaluates the ``candidates_per_round`` most stable *disjoint*
+bin groups speculatively: all candidate stacks are factorized through the
+round's solver cache and scored against the same nominal power maps, and
+the best-scoring group is accepted.  The greedy top-group choice can hit
+the sweet-spot test one round early when its bins happen to sit on an
+already-saturated heat path; the runner-up groups keep the loop moving at
+no extra sampling cost (the round's activity samples and stability map
+are shared by all candidates).
+
 Each insertion changes the stack's conductivities, so the thermal solver
-is rebuilt per round; grids are kept moderate for that reason.
+is rebuilt per accepted pattern; grids are kept moderate for that reason.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import numpy as np
 
 from ..layout.floorplan import Floorplan3D
 from ..layout.grid import GridSpec
-from ..layout.tsv import TSV, TSVKind
+from ..layout.tsv import TSV, TSVKind, place_island
 from ..leakage.pearson import die_correlation
 from ..leakage.stability import most_stable_bins, stability_map
 from ..thermal.steady_state import SolverCache, SteadyStateSolver
@@ -43,6 +52,9 @@ class MitigationConfig:
     #: grid bins receiving a dummy-TSV group per round
     tsvs_per_round: int = 8
     max_rounds: int = 12
+    #: disjoint candidate bin groups evaluated speculatively per round;
+    #: 1 reproduces the purely greedy loop
+    candidates_per_round: int = 3
     #: dummy thermal TSVs are typically larger than signal TSVs; a dense
     #: group at this geometry fills one analysis bin
     dummy_diameter: float = 20.0
@@ -79,18 +91,6 @@ class MitigationReport:
         return self.correlation_trace[-1]
 
 
-def _nominal_correlations(
-    floorplan: Floorplan3D, grid: GridSpec, solver: SteadyStateSolver
-) -> List[float]:
-    power_maps = [
-        floorplan.power_map(d, grid) for d in range(floorplan.stack.num_dies)
-    ]
-    result = solver.solve(power_maps)
-    return [
-        die_correlation(p, t) for p, t in zip(power_maps, result.die_maps)
-    ]
-
-
 def _score(correlations: Sequence[float], target_die: Optional[int]) -> float:
     if target_die is not None:
         return abs(correlations[target_die])
@@ -107,30 +107,49 @@ def insert_dummy_tsvs(
     The input floorplan is not modified.
     """
     config = config or MitigationConfig()
+    if config.candidates_per_round < 1:
+        raise ValueError("candidates_per_round must be >= 1")
     fp = floorplan.copy()
     grid = GridSpec(fp.stack.outline, config.grid_nx, config.grid_ny)
 
     # each accepted round changes the TSV pattern, so solvers are keyed by
-    # density digest; a small local cache both reuses the accepted
-    # candidate's factorization in the next round and keeps rejected
-    # candidates from evicting anything globally useful
-    solver_cache = SolverCache(maxsize=4)
+    # density digest; the local cache holds every speculative candidate of
+    # a round (the accepted one's factorization carries into the next
+    # round) and keeps rejected candidates from evicting anything
+    # globally useful
+    solver_cache = SolverCache(maxsize=max(4, config.candidates_per_round + 2))
 
     def make_solver(current: Floorplan3D) -> SteadyStateSolver:
         return solver_cache.solver_for_floorplan(current, grid)
 
+    # nominal power maps depend only on placements and voltages — never on
+    # TSVs — so one rasterization serves the whole loop and every
+    # speculative candidate
+    nominal_maps = [
+        fp.power_map(d, grid) for d in range(fp.stack.num_dies)
+    ]
+
+    def correlations_for(solver: SteadyStateSolver) -> List[float]:
+        result = solver.solve(nominal_maps)
+        return [
+            die_correlation(p, t) for p, t in zip(nominal_maps, result.die_maps)
+        ]
+
     solver = make_solver(fp)
-    correlations = _nominal_correlations(fp, grid, solver)
+    correlations = correlations_for(solver)
     trace = [_score(correlations, config.target_die)]
     inserted = 0
     rounds = 0
     last_stability: Optional[np.ndarray] = None
 
-    pitch = fp.stack.tsv_pitch
-    occupied: set = set()
+    # the exclusion mask only ever grows: build it once from the existing
+    # TSVs, then mark each accepted round's bins as they are occupied
+    exclude = np.zeros(grid.shape, dtype=bool)
     for tsv in fp.tsvs:
-        occupied.add(grid.cell_of(tsv.x, tsv.y))
+        i, j = grid.cell_of(tsv.x, tsv.y)
+        exclude[j, i] = True
 
+    group = config.tsvs_per_round
     for round_idx in range(config.max_rounds):
         # Eq. 2 stability from Gaussian activity sampling on this stack
         power_sets = sample_power_maps(
@@ -145,36 +164,53 @@ def insert_dummy_tsvs(
         stability = stability_map(p_samples, t_samples)
         last_stability = stability
 
-        exclude = np.zeros(grid.shape, dtype=bool)
-        for (i, j) in occupied:
-            exclude[j, i] = True
-        bins = most_stable_bins(stability, config.tsvs_per_round, exclude=exclude)
-
-        candidate = fp.copy()
-        for (j, i) in bins:
-            # one densely packed group of dummy TSVs per selected bin —
-            # isolated single vias are thermally invisible at floorplan
-            # scale; the paper's Fig. 4 likewise inserts TSV groups
-            cell = grid.cell_rect(i, j)
-            from ..layout.tsv import place_island
-
-            candidate.tsvs.extend(
-                place_island(
-                    cell,
-                    die_from=0,
-                    die_to=1,
-                    kind=TSVKind.THERMAL,
-                    diameter=config.dummy_diameter,
-                    keepout=config.dummy_keepout,
-                )
+        ranked = [
+            b
+            for b in most_stable_bins(
+                stability, group * config.candidates_per_round, exclude=exclude
             )
-        cand_solver = make_solver(candidate)
-        cand_corr = _nominal_correlations(candidate, grid, cand_solver)
-        cand_score = _score(cand_corr, config.target_die)
+            if not exclude[b]  # ranking pads with excluded bins when few remain
+        ]
+        candidate_bins = [
+            ranked[k * group : (k + 1) * group]
+            for k in range(config.candidates_per_round)
+        ]
+        candidate_bins = [bins for bins in candidate_bins if bins]
 
         rounds += 1
+        if not candidate_bins:
+            break  # every bin is occupied; nothing left to try
+
+        # speculative pass: score every candidate group against the same
+        # nominal maps; factorizations go through (and stay in) the cache
+        best: Optional[Tuple[float, List[Tuple[int, int]], Floorplan3D,
+                             SteadyStateSolver, List[float]]] = None
+        for bins in candidate_bins:
+            candidate = fp.copy()
+            for (j, i) in bins:
+                # one densely packed group of dummy TSVs per selected bin —
+                # isolated single vias are thermally invisible at floorplan
+                # scale; the paper's Fig. 4 likewise inserts TSV groups
+                cell = grid.cell_rect(i, j)
+                candidate.tsvs.extend(
+                    place_island(
+                        cell,
+                        die_from=0,
+                        die_to=1,
+                        kind=TSVKind.THERMAL,
+                        diameter=config.dummy_diameter,
+                        keepout=config.dummy_keepout,
+                    )
+                )
+            cand_solver = make_solver(candidate)
+            cand_corr = correlations_for(cand_solver)
+            cand_score = _score(cand_corr, config.target_die)
+            if best is None or cand_score < best[0]:
+                best = (cand_score, bins, candidate, cand_solver, cand_corr)
+
+        cand_score, bins, candidate, cand_solver, cand_corr = best
         if cand_score >= trace[-1] - 1e-6:
-            # sweet spot reached: further insertion stops helping
+            # sweet spot reached: no candidate group keeps helping
             break
         inserted += len(candidate.tsvs) - len(fp.tsvs)
         fp = candidate
@@ -182,7 +218,7 @@ def insert_dummy_tsvs(
         correlations = cand_corr
         trace.append(cand_score)
         for (j, i) in bins:
-            occupied.add((i, j))
+            exclude[j, i] = True
 
     return MitigationReport(
         floorplan=fp,

@@ -16,11 +16,14 @@ RC network.  Two levels of reuse keep repeated analyses cheap:
 from __future__ import annotations
 
 import hashlib
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..layout.die import StackConfig
@@ -55,13 +58,119 @@ class ThermalResult:
         return self.die_maps[die]
 
 
-class SteadyStateSolver:
-    """Factorized steady-state solver bound to one thermal stack."""
+class _PersistedLU:
+    """A solve operator rebuilt from persisted SuperLU factors.
 
-    def __init__(self, stack: ThermalStack) -> None:
+    ``splu`` objects cannot cross process boundaries, but their ``L``,
+    ``U`` and permutations can (factorized with equilibration disabled,
+    so ``A = Pr^T L U Pc^T`` holds exactly).  A solve is then two sparse
+    triangular substitutions — slower per right-hand side than native
+    SuperLU, but it skips the dominant factorization cost entirely, and
+    batched solves (``solve_many``) amortize the difference away.
+    """
+
+    def __init__(
+        self,
+        L: sp.csr_matrix,
+        U: sp.csr_matrix,
+        perm_r: np.ndarray,
+        perm_c: np.ndarray,
+    ) -> None:
+        self._L = L.tocsr()
+        self._U = U.tocsr()
+        self._perm_r = np.asarray(perm_r, dtype=np.intp)
+        self._perm_c = np.asarray(perm_c, dtype=np.intp)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        rb = np.empty_like(b)
+        rb[self._perm_r] = b
+        y = spla.spsolve_triangular(
+            self._L, rb, lower=True, unit_diagonal=True, overwrite_b=True
+        )
+        x = spla.spsolve_triangular(self._U, y, lower=False, overwrite_b=True)
+        return x[self._perm_c]
+
+
+def _conductance_digest(matrix: sp.csc_matrix) -> str:
+    """Digest of the exact system a factorization solves.
+
+    Persisted factors are only valid for the matrix they were computed
+    from; any revision of ``build_stack``/``assemble`` (materials,
+    boundary conductances, stencils) changes this digest and invalidates
+    stale cache files instead of silently solving the wrong system.
+    """
+    m = matrix.tocsc()
+    h = hashlib.sha1()
+    h.update(repr(m.shape).encode())
+    h.update(m.indptr.tobytes())
+    h.update(m.indices.tobytes())
+    h.update(m.data.tobytes())
+    return h.hexdigest()
+
+
+def _save_lu(path: Path, lu, conductance_digest: str) -> None:
+    """Persist a (non-equilibrated) SuperLU factorization atomically."""
+    from ..core.store import persist_atomic
+
+    L = lu.L.tocsc()
+    U = lu.U.tocsc()
+
+    def write(tmp: Path) -> str:
+        np.savez(
+            tmp,
+            L_data=L.data, L_indices=L.indices, L_indptr=L.indptr,
+            U_data=U.data, U_indices=U.indices, U_indptr=U.indptr,
+            perm_r=lu.perm_r, perm_c=lu.perm_c,
+            shape=np.asarray(L.shape, dtype=np.int64),
+            conductance_digest=np.array(conductance_digest),
+        )
+        return str(tmp) + ".npz"  # np.savez appends .npz to the temp name
+
+    persist_atomic(path, write)
+
+
+def _load_lu(path: Path) -> Optional[Tuple[_PersistedLU, str]]:
+    """(persisted factors, conductance digest they were computed for).
+
+    A torn file from a crashed writer can carry a valid zip header with
+    a truncated payload (BadZipFile/EOFError) — any unreadable cache
+    entry means "factorize fresh", never a crash.
+    """
+    try:
+        with np.load(path) as z:
+            shape = tuple(z["shape"])
+            L = sp.csc_matrix((z["L_data"], z["L_indices"], z["L_indptr"]), shape=shape)
+            U = sp.csc_matrix((z["U_data"], z["U_indices"], z["U_indptr"]), shape=shape)
+            digest = str(z["conductance_digest"])
+            return _PersistedLU(L, U, z["perm_r"], z["perm_c"]), digest
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        return None
+
+
+class SteadyStateSolver:
+    """Factorized steady-state solver bound to one thermal stack.
+
+    ``reconstructable=True`` factorizes without equilibration so the
+    factors can be persisted and rebuilt in other processes (the matrices
+    here are diagonally dominant, so equilibration is not needed for
+    accuracy); ``lu`` injects an already-persisted factorization instead
+    of computing one.
+    """
+
+    def __init__(
+        self,
+        stack: ThermalStack,
+        reconstructable: bool = False,
+        lu=None,
+    ) -> None:
         self.stack = stack
         self.network: ThermalNetwork = assemble(stack)
-        self._lu = spla.splu(self.network.conductance)
+        if lu is not None:
+            self._lu = lu
+        elif reconstructable:
+            self._lu = spla.splu(self.network.conductance, options=dict(Equil=False))
+        else:
+            self._lu = spla.splu(self.network.conductance)
 
     def _split(self, t: np.ndarray) -> List[np.ndarray]:
         grid = self.stack.grid
@@ -129,14 +238,25 @@ class SolverCache:
     stack kwargs).  Identical networks are factorized exactly once; the
     density digest makes reuse safe even when callers rebuild density
     maps from scratch each time.
+
+    With ``disk_dir`` set, factorizations additionally persist to (and
+    load from) that directory, so *other processes* — e.g. the workers of
+    a :func:`~repro.exploration.study.run_batch` sweep — skip the
+    factorization of any stack some worker has already seen.  Loaded
+    solvers back-substitute through persisted triangular factors (see
+    :class:`_PersistedLU`): slower per solve than native SuperLU, so the
+    disk layer pays off for factorization-dominated workloads (exactly
+    the warm-up of pool workers), which is why it is opt-in.
     """
 
-    def __init__(self, maxsize: int = 8) -> None:
+    def __init__(self, maxsize: int = 8, disk_dir: str | Path | None = None) -> None:
         if maxsize < 1:
             raise ValueError("cache needs room for at least one solver")
         self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
         self._entries: "OrderedDict[tuple, SteadyStateSolver]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -146,6 +266,30 @@ class SolverCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+
+    def drop_persisted_solvers(self) -> int:
+        """Evict entries whose solve goes through persisted factors.
+
+        The serial batch path temporarily points the process-global cache
+        at a disk directory; solvers loaded there back-substitute through
+        :class:`_PersistedLU` (slower per RHS than native SuperLU) and
+        must not keep serving later same-process callers.  Returns the
+        number of evicted entries.
+        """
+        stale = [
+            key
+            for key, solver in self._entries.items()
+            if isinstance(solver._lu, _PersistedLU)
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    @staticmethod
+    def _digest_key(key: tuple) -> str:
+        """Filename-safe digest of a cache key (all parts have stable reprs)."""
+        return hashlib.sha1(repr(key).encode()).hexdigest()
 
     def _key(
         self,
@@ -178,9 +322,34 @@ class SolverCache:
             self._entries.move_to_end(key)
             return solver
         self.misses += 1
-        solver = SteadyStateSolver(
-            build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
-        )
+        stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
+        solver = None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            path = self.disk_dir / f"lu-{self._digest_key(key)}.npz"
+            loaded = _load_lu(path)
+            if loaded is not None:
+                lu, stored_digest = loaded
+                candidate = SteadyStateSolver(stack, lu=lu)
+                if _conductance_digest(candidate.network.conductance) == stored_digest:
+                    self.disk_hits += 1
+                    solver = candidate
+                else:
+                    # factors of an older network revision: drop them so
+                    # the fresh factorization below can re-persist
+                    path.unlink(missing_ok=True)
+            elif path.exists():
+                # unreadable (torn/foreign) file: heal it, or the
+                # existing-file check would block re-persisting forever
+                path.unlink(missing_ok=True)
+        if solver is None:
+            solver = SteadyStateSolver(stack, reconstructable=self.disk_dir is not None)
+            if self.disk_dir is not None:
+                _save_lu(
+                    path,
+                    solver._lu,
+                    _conductance_digest(solver.network.conductance),
+                )
         self._entries[key] = solver
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

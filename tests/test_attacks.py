@@ -34,6 +34,43 @@ def _device(seed=0, sensors=None):
     return ThermalDevice(fp, grid, activity_model=model, sensors=sensors)
 
 
+class TestDeviceSharedTsvPlumbing:
+    def test_upper_interface_tsvs_reach_the_solver(self):
+        """A 3-die device must see TSVs of *every* adjacent interface;
+        building from the (0, 1) density alone silently dropped the
+        (1, 2) heat pipes (ROADMAP follow-up from PR 2)."""
+        from repro.layout.geometry import Rect
+        from repro.layout.tsv import TSVKind, place_island
+
+        mods = {
+            "hot": Module("hot", 400, 400, power=2.0),
+            "mid": Module("mid", 400, 400, power=0.5),
+            "top": Module("top", 400, 400, power=0.5),
+        }
+        placements = {
+            "hot": Placement(mods["hot"], 300, 300, die=0),
+            "mid": Placement(mods["mid"], 300, 300, die=1),
+            "top": Placement(mods["top"], 300, 300, die=2),
+        }
+        stack = StackConfig.square(1000.0, num_dies=3)
+        grid = GridSpec(stack.outline, 12, 12)
+        model = InputActivityModel(sorted(placements), num_bits=3, fanin=1, seed=0)
+        bare = Floorplan3D(stack, dict(placements))
+        piped = Floorplan3D(stack, dict(placements))
+        piped.tsvs = list(
+            place_island(
+                Rect(250, 250, 500, 500), die_from=1, die_to=2,
+                kind=TSVKind.THERMAL, diameter=20.0, keepout=5.0,
+            )
+        )
+        pattern = [1, 1, 1]
+        maps_bare = ThermalDevice(bare, grid, activity_model=model).respond(pattern)
+        maps_piped = ThermalDevice(piped, grid, activity_model=model).respond(pattern)
+        # the (1, 2) heat pipes must change the upper dies' temperatures
+        assert not np.allclose(maps_bare[1], maps_piped[1])
+        assert not np.allclose(maps_bare[2], maps_piped[2])
+
+
 class TestSensorGrid:
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -62,6 +62,11 @@ class TestLeakageProperties:
     )
     @settings(max_examples=40)
     def test_pearson_affine_invariance(self, a, scale, shift):
+        # affine maps only preserve correlation while the data's variation
+        # survives float rounding: a tiny spread around a large shift
+        # (e.g. 1e-111 + 1.0 == 1.0) collapses to a constant array, which
+        # is degenerate (r := 0), not a counterexample
+        assume(np.ptp(a * scale + shift) > 0)
         b = np.linspace(0, 1, 16)
         r1 = pearson(a, b)
         r2 = pearson(a * scale + shift, b)

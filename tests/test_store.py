@@ -1,0 +1,172 @@
+"""Tests for the persisted results store and resumable batch sweeps."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.results import FlowMetrics
+from repro.core.store import ResultsStore, load_thermal_model, save_thermal_model
+from repro.exploration.study import BatchJob, run_batch
+from repro.thermal.fast import FastThermalModel
+
+
+def _metrics(benchmark="n100", mode="power_aware", r1=0.5, runtime=1.0):
+    return FlowMetrics(
+        benchmark=benchmark,
+        mode=mode,
+        spatial_entropy_s1=0.8,
+        correlation_r1=r1,
+        spatial_entropy_s2=0.7,
+        correlation_r2=0.4,
+        power_w=8.0,
+        critical_delay_ns=1.5,
+        wirelength_m=2.0,
+        peak_temp_k=330.0,
+        signal_tsvs=120,
+        dummy_tsvs=32,
+        voltage_volumes=5,
+        runtime_s=runtime,
+        feasible=True,
+    )
+
+
+class TestFlowMetricsRoundTrip:
+    def test_to_from_dict(self):
+        m = _metrics()
+        again = FlowMetrics.from_dict(m.to_dict())
+        assert again == m
+
+    def test_integer_fields_stay_integers(self):
+        again = FlowMetrics.from_dict(_metrics().to_dict())
+        assert isinstance(again.signal_tsvs, int)
+        assert isinstance(again.voltage_volumes, int)
+
+
+class TestResultsStore:
+    def test_append_and_completed(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.completed() == {}
+        store.append("a", _metrics(r1=0.1))
+        store.append("b", _metrics(r1=0.2))
+        done = store.completed()
+        assert set(done) == {"a", "b"}
+        assert done["a"].correlation_r1 == pytest.approx(0.1)
+        assert "a" in store and "missing" not in store
+        assert len(store) == 2
+
+    def test_last_record_wins(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("a", _metrics(r1=0.1))
+        store.append("a", _metrics(r1=0.9))
+        assert store.completed()["a"].correlation_r1 == pytest.approx(0.9)
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        """A crash mid-append must not poison the records before it."""
+        store = ResultsStore(tmp_path)
+        store.append("a", _metrics())
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "key": "b", "metr')  # torn write
+        reopened = ResultsStore(tmp_path)
+        assert set(reopened.completed()) == {"a"}
+        # appending after the torn line starts a fresh valid line
+        reopened.append("c", _metrics())
+        assert set(ResultsStore(tmp_path).completed()) == {"a", "c"}
+
+    def test_newer_schema_lines_are_skipped(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("a", _metrics())
+        with open(store.path, "a", encoding="utf-8") as fh:
+            record = {"schema": 99, "key": "b", "metrics": _metrics().to_dict()}
+            fh.write(json.dumps(record) + "\n")
+        assert set(ResultsStore(tmp_path).completed()) == {"a"}
+
+    def test_parquet_export_gated_on_pyarrow(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("a", _metrics())
+        try:
+            import pyarrow  # noqa: F401
+        except ImportError:
+            with pytest.raises(RuntimeError, match="pyarrow"):
+                store.to_parquet()
+        else:  # pragma: no cover - exercised only where pyarrow exists
+            out = store.to_parquet()
+            assert out.exists()
+
+
+class TestThermalModelPersistence:
+    def test_round_trip(self, tmp_path):
+        model = FastThermalModel(num_dies=3, tsv_beta=0.3, ambient=300.0)
+        path = tmp_path / "model.json"
+        save_thermal_model(path, model)
+        again = load_thermal_model(path)
+        assert again is not None
+        assert again.num_dies == 3
+        assert again.tsv_beta == pytest.approx(0.3)
+        assert again.ambient == pytest.approx(300.0)
+        assert set(again.masks) == set(model.masks)
+        for key, params in model.masks.items():
+            assert again.masks[key] == params
+
+    def test_missing_or_corrupt_returns_none(self, tmp_path):
+        assert load_thermal_model(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_thermal_model(bad) is None
+
+
+class TestBatchJobKey:
+    def test_key_covers_outcome_changing_fields(self):
+        base = BatchJob(benchmark="n100")
+        variants = [
+            BatchJob(benchmark="n300"),
+            BatchJob(benchmark="n100", mode="tsc_aware"),
+            BatchJob(benchmark="n100", seed=1),
+            BatchJob(benchmark="n100", iterations=99),
+            BatchJob(benchmark="n100", grid=16),
+            BatchJob(benchmark="n100", num_dies=3),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+
+class TestRunBatchResume:
+    def test_resume_skips_recorded_jobs(self, tmp_path, monkeypatch):
+        job = BatchJob(benchmark="n100", iterations=25, grid=12)
+        store = ResultsStore(tmp_path)
+        first = run_batch([job], processes=1, store=store)
+        assert len(first) == 1 and first[0].benchmark == "n100"
+        assert job.key() in store
+
+        # a second run must come entirely from the store: executing any
+        # job now would blow up
+        from repro.exploration import study
+
+        def boom(job):
+            raise AssertionError("job re-executed despite store record")
+
+        monkeypatch.setattr(study, "_execute_batch_job", boom)
+        second = run_batch([job], processes=1, store=store)
+        assert second[0] == first[0]
+
+    def test_store_accepts_path(self, tmp_path):
+        job = BatchJob(benchmark="n100", iterations=25, grid=12)
+        first = run_batch([job], processes=1, store=tmp_path)
+        # resumed via a plain path as well
+        second = run_batch([job], processes=1, store=str(tmp_path))
+        assert second[0] == first[0]
+
+    def test_mixed_resume_runs_only_missing(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        jobs = [
+            BatchJob(benchmark="n100", iterations=25, grid=12, seed=0),
+            BatchJob(benchmark="n100", iterations=25, grid=12, seed=1),
+        ]
+        store.append(jobs[0].key(), _metrics(r1=0.123, runtime=9.0))
+        results = run_batch(jobs, processes=1, store=store)
+        # job 0 came from the store verbatim, job 1 actually ran
+        assert results[0].correlation_r1 == pytest.approx(0.123)
+        assert results[0].runtime_s == pytest.approx(9.0)
+        assert results[1].benchmark == "n100"
+        assert results[1].runtime_s != pytest.approx(9.0)
+        assert len(store) == 2

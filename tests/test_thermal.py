@@ -235,3 +235,20 @@ class TestTransient:
         trace = solver.run(lambda t: [zeros, zeros], duration=0.05, dt=0.01)
         with pytest.raises(ValueError):
             thermal_time_constant(trace)
+
+    def test_time_constant_first_crossing_on_overshoot(self):
+        """A noisy/overshooting step response must return the *first*
+        63.2 % crossing; the old sorted-search assumed a monotonic trace
+        and returned garbage on overshoot."""
+        from repro.thermal.transient import TransientTrace
+
+        times = np.arange(1, 8) * 0.01
+        # rises past the target (0.632), overshoots, rings back down
+        means = np.array([0.0, 0.3, 0.7, 1.3, 0.9, 1.1, 1.0])
+        trace = TransientTrace(
+            times=times,
+            die_means=means[:, None],
+            die_peaks=means[:, None],
+        )
+        tau = thermal_time_constant(trace, die=0)
+        assert tau == pytest.approx(times[2])  # first sample >= 0.632
