@@ -18,7 +18,6 @@ Not paper artifacts, but the experiments a reviewer would ask for:
 """
 
 import numpy as np
-import pytest
 
 from repro.exploration import power_pattern
 from repro.layout import GridSpec, StackConfig

@@ -7,7 +7,7 @@ construction).  Also times benchmark generation as the perf metric.
 
 import pytest
 
-from repro.benchmarks import TABLE1, benchmark_names, generate_circuit, load, spec_for
+from repro.benchmarks import benchmark_names, generate_circuit, load, spec_for
 
 
 EXPECTED = {

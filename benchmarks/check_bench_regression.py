@@ -18,8 +18,10 @@ alike.  A run fails when any tracked kernel's mean exceeds its scaled
 baseline by more than the threshold (recorded in the baseline at
 ``--update`` time; overridable with ``--threshold``).
 
-Tracked kernels missing from the run are reported but do not fail — CI
-may gate on a subset; kernels in the run but not the baseline are listed
+A tracked kernel *missing* from the run also fails the gate: a renamed
+or deleted benchmark would otherwise silently leave that kernel ungated
+forever.  Deliberate subset runs (local spot checks) opt out with
+``--allow-missing``.  Kernels in the run but not the baseline are listed
 so they can be adopted with ``--update``.
 """
 
@@ -61,10 +63,13 @@ def calibration_time(repeats: int = 5) -> float:
     """
     rng = np.random.default_rng(0)
     n = 72
-    lap = sp.diags(
-        [4.0] * (n * n), 0
-    ) - sp.diags([1.0] * (n * n - 1), 1) - sp.diags([1.0] * (n * n - 1), -1) \
-        - sp.diags([1.0] * (n * n - n), n) - sp.diags([1.0] * (n * n - n), -n)
+    lap = (
+        sp.diags([4.0] * (n * n), 0)
+        - sp.diags([1.0] * (n * n - 1), 1)
+        - sp.diags([1.0] * (n * n - 1), -1)
+        - sp.diags([1.0] * (n * n - n), n)
+        - sp.diags([1.0] * (n * n - n), -n)
+    )
     lap = lap.tocsc()
     rhs = rng.random((n * n, 100))
     dense = rng.random((512, 512))
@@ -95,6 +100,11 @@ def main(argv=None) -> int:
                              "(default: the baseline's recorded threshold)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run instead of gating")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate tracked kernels absent from the run "
+                             "(deliberate subset runs only; by default a "
+                             "missing kernel fails the gate, since a renamed "
+                             "test would otherwise go ungated)")
     args = parser.parse_args(argv)
 
     means = load_means(args.run)
@@ -132,12 +142,17 @@ def main(argv=None) -> int:
           f"(calibration {calibration * 1e3:.1f}ms); threshold {threshold:.2f}x")
 
     failures = []
+    missing = []
     tracked = baseline["tracked"]
     width = max((len(n) for n in tracked), default=10)
     for name, base_mean in sorted(tracked.items()):
         run_mean = means.get(name)
         if run_mean is None:
-            print(f"{name:<{width}}  SKIP (not in this run)")
+            if args.allow_missing:
+                print(f"{name:<{width}}  SKIP (not in this run; --allow-missing)")
+            else:
+                print(f"{name:<{width}}  MISSING (tracked kernel absent from run)")
+                missing.append(name)
             continue
         ratio = run_mean / (base_mean * scale)
         status = "OK" if ratio <= threshold else "FAIL"
@@ -150,9 +165,15 @@ def main(argv=None) -> int:
     if untracked:
         print(f"note: kernels not in baseline: {', '.join(untracked)}")
 
+    if missing:
+        print(f"\nFAIL: {len(missing)} tracked kernel(s) missing from the run "
+              f"({', '.join(missing)}); a renamed test means an ungated "
+              "kernel — update TRACKED/--update, or pass --allow-missing "
+              "for a deliberate subset run")
     if failures:
         print(f"\nFAIL: {len(failures)} kernel(s) slowed past "
               f"{threshold:.2f}x the committed (speed-scaled) baseline")
+    if failures or missing:
         return 1
     print("\nbenchmark gate passed")
     return 0

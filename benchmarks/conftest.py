@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.core.config import env_int
 

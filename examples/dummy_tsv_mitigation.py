@@ -13,7 +13,6 @@ import numpy as np
 from repro import FlowConfig, FloorplanMode, load_benchmark, run_flow
 from repro.core.config import env_int
 from repro.floorplan import AnnealConfig
-from repro.layout.grid import GridSpec
 from repro.mitigation import MitigationConfig, insert_dummy_tsvs
 
 

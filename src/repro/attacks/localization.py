@@ -22,7 +22,6 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..layout.geometry import Rect
 from ..leakage.pearson import pearson
 from .device import ThermalDevice
 

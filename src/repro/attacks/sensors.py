@@ -14,7 +14,7 @@ paper's strongest attacker assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy.interpolate import RegularGridInterpolator

@@ -1,4 +1,4 @@
-"""Command-line interface: run flows and studies from the shell.
+"""Command-line interface: run flows, studies, and distributed sweeps.
 
 Examples::
 
@@ -10,7 +10,20 @@ Examples::
     python -m repro.cli benchmarks
 
 ``sweep`` runs serially in-process; ``batch`` is the parallel variant,
-fanning (benchmark, mode, seed) jobs across a process pool.
+fanning (benchmark, mode, seed) jobs across local worker processes.
+
+Multi-host sweeps split the same thing into three verbs sharing one
+queue directory on a common filesystem::
+
+    python -m repro.cli enqueue n100 n300 --modes power_aware tsc_aware \
+        --seeds 50 --queue-dir /shared/q
+    python -m repro.cli work --queue-dir /shared/q --workers 8 \
+        --cache-dir /shared/cache        # run this on every host
+    python -m repro.cli sweep-status --queue-dir /shared/q
+
+Workers claim jobs via atomic lease files and append results to
+per-worker shards; crashed workers' leases expire and their jobs are
+reclaimed by survivors (see :mod:`repro.core.queue`).
 """
 
 from __future__ import annotations
@@ -79,13 +92,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    from .core.store import ResultsStore
-    from .exploration.study import BatchJob, run_batch, summarize_batch
+def _build_jobs(args: argparse.Namespace) -> list:
+    """The (benchmark, mode, seed) job grid shared by batch and enqueue."""
+    from .exploration.study import BatchJob
 
     if args.seeds < 1:
         raise SystemExit("error: --seeds must be >= 1")
-    jobs = [
+    return [
         BatchJob(
             benchmark=bench,
             mode=mode,
@@ -97,6 +110,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for bench in args.benchmarks
         for seed in range(args.seeds)
     ]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .core.store import ResultsStore
+    from .exploration.study import run_batch, summarize_batch
+
+    jobs = _build_jobs(args)
     store = ResultsStore(args.store) if args.store else None
     if store is not None:
         done = store.completed()
@@ -118,6 +138,100 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             if m == mode
         }
         print("\n" + format_table(rows, TABLE_METRICS, title=f"setup: {mode}"))
+    return 0
+
+
+def _cmd_enqueue(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from .core.queue import WorkQueue
+
+    jobs = _build_jobs(args)
+    queue = WorkQueue(args.queue_dir)
+    added = 0
+    for job in jobs:
+        if queue.enqueue(job.key(), asdict(job)):
+            added += 1
+        if args.retry_failed:
+            queue.clear_failure(job.key())
+    status = queue.status()
+    print(f"enqueued {added} new jobs ({len(jobs) - added} already queued) "
+          f"-> {args.queue_dir}")
+    print(f"queue now: {status.total} total, {status.completed} completed, "
+          f"{status.pending} pending")
+    print(f"drain with: python -m repro.cli work --queue-dir {args.queue_dir}")
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    from .core.queue import WorkQueue
+    from .exploration.study import batch_worker_main
+
+    workers = args.workers
+    if workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    status = queue.status()
+    if status.total == 0:
+        print(f"queue {args.queue_dir} is empty; enqueue jobs first")
+        return 1
+    print(f"draining {args.queue_dir}: {status.pending} pending of "
+          f"{status.total} jobs on {workers} worker(s) "
+          f"(lease ttl {args.lease_ttl:.0f}s)")
+    if workers == 1:
+        done = batch_worker_main(
+            str(args.queue_dir), args.lease_ttl, args.cache_dir,
+            max_jobs=args.max_jobs,
+        )
+    else:
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    batch_worker_main, str(args.queue_dir), args.lease_ttl,
+                    args.cache_dir, None, args.max_jobs,
+                )
+                for _ in range(workers)
+            ]
+            for future in as_completed(futures):
+                done += future.result()
+    queue.merge()
+    status = queue.status()
+    print(f"workers completed {done} job(s); queue now: "
+          f"{status.completed}/{status.total} completed, "
+          f"{status.failed} failed, {status.pending} pending")
+    _print_failures(status)
+    return 1 if status.failed else 0
+
+
+def _print_failures(status) -> None:
+    for key, record in status.failures.items():
+        error = str(record.get("error", "")).strip().splitlines()
+        last = error[-1] if error else "unknown error"
+        print(f"  FAILED {key} on {record.get('worker', '?')}: {last}")
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from .core.queue import WorkQueue
+
+    queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    if args.merge:
+        merged = queue.merge()
+        print(f"merged shards -> {merged.path} ({len(merged)} records)")
+    status = queue.status()
+    print(f"queue {args.queue_dir}: {status.total} jobs")
+    print(f"  completed {status.completed}  in-flight {status.claimed}  "
+          f"failed {status.failed}  pending {status.pending}")
+    for entry in status.active:
+        print(f"  RUNNING {entry['key']} on {entry['worker']} "
+              f"(heartbeat {entry['age_s']:.0f}s ago)")
+    for entry in status.stale:
+        print(f"  STALE   {entry['key']} on {entry['worker']} "
+              f"(lease expired {entry['age_s'] - queue.lease_ttl:.0f}s ago; "
+              "will be reclaimed)")
+    _print_failures(status)
     return 0
 
 
@@ -166,17 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--grid", type=int, default=32)
     p_sweep.set_defaults(func=_cmd_sweep)
 
+    def add_grid_args(p) -> None:
+        p.add_argument("benchmarks", nargs="+", choices=benchmark_names())
+        p.add_argument("--modes", nargs="+",
+                       choices=["power_aware", "tsc_aware"],
+                       default=["power_aware", "tsc_aware"])
+        p.add_argument("--seeds", type=int, default=2,
+                       help="runs per (benchmark, mode), seeded 0..N-1")
+        p.add_argument("--iterations", type=int, default=1500)
+        p.add_argument("--grid", type=int, default=32)
+
     p_batch = sub.add_parser(
-        "batch", help="parallel scenario sweep over a process pool"
+        "batch", help="parallel scenario sweep over local worker processes"
     )
-    p_batch.add_argument("benchmarks", nargs="+", choices=benchmark_names())
-    p_batch.add_argument("--modes", nargs="+",
-                         choices=["power_aware", "tsc_aware"],
-                         default=["power_aware", "tsc_aware"])
-    p_batch.add_argument("--seeds", type=int, default=2,
-                         help="runs per (benchmark, mode), seeded 0..N-1")
-    p_batch.add_argument("--iterations", type=int, default=1500)
-    p_batch.add_argument("--grid", type=int, default=32)
+    add_grid_args(p_batch)
     p_batch.add_argument("-j", "--processes", type=int, default=None,
                          help="pool size (default: min(jobs, cpu count); "
                               "1 = serial)")
@@ -189,6 +306,45 @@ def build_parser() -> argparse.ArgumentParser:
                               "workers (identical stacks factorize once "
                               "across the whole sweep)")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_enq = sub.add_parser(
+        "enqueue",
+        help="queue a (benchmark, mode, seed) grid for distributed workers",
+    )
+    add_grid_args(p_enq)
+    p_enq.add_argument("--queue-dir", required=True, metavar="DIR",
+                       help="work-queue directory on a filesystem all "
+                            "workers share")
+    p_enq.add_argument("--retry-failed", action="store_true",
+                       help="clear recorded failures so workers retry "
+                            "those jobs")
+    p_enq.set_defaults(func=_cmd_enqueue)
+
+    p_work = sub.add_parser(
+        "work", help="run a worker pool draining a shared queue directory"
+    )
+    p_work.add_argument("--queue-dir", required=True, metavar="DIR")
+    p_work.add_argument("--workers", type=int, default=1,
+                        help="worker processes on this host")
+    p_work.add_argument("--lease-ttl", type=float, default=300.0,
+                        help="seconds of missed heartbeats before a "
+                             "worker's claim is reclaimed")
+    p_work.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared on-disk solver/model cache")
+    p_work.add_argument("--max-jobs", type=int, default=None,
+                        help="cap on jobs per worker (default: drain)")
+    p_work.set_defaults(func=_cmd_work)
+
+    p_stat = sub.add_parser(
+        "sweep-status", help="inspect a queue's progress and failures"
+    )
+    p_stat.add_argument("--queue-dir", required=True, metavar="DIR")
+    p_stat.add_argument("--lease-ttl", type=float, default=300.0,
+                        help="staleness horizon used to classify leases")
+    p_stat.add_argument("--merge", action="store_true",
+                        help="consolidate worker shards into the queue's "
+                             "results.jsonl before reporting")
+    p_stat.set_defaults(func=_cmd_sweep_status)
 
     p_exp = sub.add_parser("explore", help="Sec. 3 power x TSV study")
     p_exp.add_argument("--grid", type=int, default=24)

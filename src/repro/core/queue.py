@@ -1,0 +1,527 @@
+"""Filesystem-coordinated distributed work queue over :class:`ResultsStore` keys.
+
+Paper-scale design-space exploration (Sec. 6, Table 2) means 50-run
+sweeps across six benchmarks and multiple mitigation modes — more flows
+than one host clears in a sitting.  :class:`WorkQueue` turns any
+directory on a shared filesystem into a sweep coordinator: every worker
+process — on one host or many — claims jobs, executes them, and records
+results with nothing but atomic filesystem primitives.  No broker, no
+sockets, no server to keep alive.
+
+Layout under the queue root::
+
+    jobs/<digest>.json       one spec per job: {"key", "payload"}
+    leases/<digest>.lease    exclusive claim; mtime is the heartbeat
+    shards/<worker>.jsonl    per-worker ResultsStore shard (append-only)
+    failures/<digest>.json   last recorded execution failure per job
+    results.jsonl            merged store (see :meth:`WorkQueue.merge`)
+    merge.lock               serializes concurrent merges
+
+Coordination rules:
+
+* **Claim** — a lease file created with ``O_CREAT | O_EXCL``; exactly one
+  worker wins.  Workers heartbeat by refreshing the lease mtime while the
+  job runs.
+* **Reclaim** — a lease whose mtime is older than ``lease_ttl`` belongs
+  to a dead worker.  Stealing it goes through an atomic ``rename`` to a
+  unique tombstone, so of N workers that notice the same expired lease,
+  exactly one reclaims the job.
+* **Completion** — the result is appended to the *claiming worker's own*
+  shard before the lease drops, so no two processes ever append to one
+  JSONL file concurrently.  A job counts as done when its key appears in
+  any shard or the merged store; duplicate completions (a lease expired
+  under a live-but-slow worker) are collapsed by key-level dedup in
+  :meth:`~repro.core.store.ResultsStore.merge_shards`.
+
+Timestamps compare a worker's local clock against shared-filesystem
+mtimes, so ``lease_ttl`` must comfortably exceed cross-host clock skew
+plus the heartbeat interval; the CLI default (300 s) is conservative.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import traceback
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Set
+
+from .results import FlowMetrics
+from .store import ResultsStore, artifact_digest, persist_atomic
+
+__all__ = ["Lease", "QueueStatus", "WorkQueue", "run_worker", "worker_name"]
+
+#: executes one claimed job: payload dict -> metrics record
+Executor = Callable[[dict], FlowMetrics]
+
+#: bump when job/lease/failure record layouts change
+_SCHEMA = 1
+
+
+def worker_name() -> str:
+    """Default worker identity: unique per process across pool hosts."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class Lease:
+    """An exclusive, heartbeat-kept claim on one queued job."""
+
+    key: str
+    payload: dict
+    path: Path
+
+    def heartbeat(self) -> None:
+        """Refresh the lease mtime so other workers see this job live.
+
+        A missing lease (stolen after an expiry this worker caused by
+        stalling) is not an error: the job may then run twice, and the
+        shard merge dedups the second completion.
+        """
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
+
+    def release(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+@dataclass
+class QueueStatus:
+    """One progress snapshot of a queue (see :meth:`WorkQueue.status`)."""
+
+    total: int
+    completed: int
+    failed: int
+    claimed: int
+    pending: int
+    #: live leases: {"key", "worker", "age_s"} per in-flight job
+    active: List[Dict[str, object]]
+    #: expired leases not yet reclaimed (crashed workers)
+    stale: List[Dict[str, object]]
+    #: per-job failure records keyed by job key
+    failures: Dict[str, Dict[str, object]]
+
+
+class WorkQueue:
+    """A distributed work queue rooted at one shared directory.
+
+    Safe for any number of concurrent readers and claimers; the only
+    single-writer file is each worker's own shard.  ``lease_ttl`` is the
+    seconds of missed heartbeats after which a claim counts as dead.
+    """
+
+    def __init__(self, root: str | Path, lease_ttl: float = 300.0) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.jobs_dir = self.root / "jobs"
+        self.leases_dir = self.root / "leases"
+        self.shards_dir = self.root / "shards"
+        self.failures_dir = self.root / "failures"
+        for directory in (
+            self.jobs_dir, self.leases_dir, self.shards_dir, self.failures_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        #: consolidated results (populated by :meth:`merge`)
+        self.store = ResultsStore(self.root)
+        #: shard stores memoized per filename (each memoizes by file stamp)
+        self._shards: Dict[str, ResultsStore] = {}
+
+    # -- job intake ------------------------------------------------------------
+
+    @staticmethod
+    def _digest(key: str) -> str:
+        return artifact_digest("queue-job", key)
+
+    def enqueue(self, key: str, payload: dict) -> bool:
+        """Queue one job; idempotent by key (the first spec wins).
+
+        ``payload`` must be JSON-serializable and is handed verbatim to
+        the executor on the claiming worker.  Returns True when this call
+        added the job, False when it was already queued.
+        """
+        path = self.jobs_dir / f"{self._digest(key)}.json"
+        if path.exists():
+            return False
+        record = {"schema": _SCHEMA, "key": key, "payload": payload}
+
+        def write(tmp: Path) -> Path:
+            tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+            return tmp
+
+        # atomic create; concurrent enqueuers of the same key are tolerated
+        persist_atomic(path, write)
+        return True
+
+    def jobs(self) -> Dict[str, dict]:
+        """All queued job payloads keyed by job key (enqueue order lost)."""
+        out: Dict[str, dict] = {}
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            record = self._read_json(path)
+            if record is None or record.get("schema", 0) > _SCHEMA:
+                continue
+            try:
+                out[record["key"]] = record["payload"]
+            except (KeyError, TypeError):
+                continue
+        return out
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[dict]:
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # torn concurrent write or vanished file; callers skip it
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    # -- completion state ------------------------------------------------------
+
+    def shards(self) -> List[ResultsStore]:
+        """Every worker shard currently present (stable filename order)."""
+        stores = []
+        for path in sorted(self.shards_dir.glob("*.jsonl")):
+            store = self._shards.get(path.name)
+            if store is None:
+                store = ResultsStore(self.shards_dir, filename=path.name)
+                self._shards[path.name] = store
+            stores.append(store)
+        return stores
+
+    def shard_for(self, worker_id: str) -> ResultsStore:
+        """The single-writer shard this worker appends its results to."""
+        return ResultsStore(self.shards_dir, filename=f"{worker_id}.jsonl")
+
+    def completed(self) -> Dict[str, FlowMetrics]:
+        """Merged-store results unioned with every worker shard."""
+        out = dict(self.store.completed())
+        for shard in self.shards():
+            for key, metrics in shard.completed().items():
+                out.setdefault(key, metrics)
+        return out
+
+    @contextmanager
+    def _merge_lock(self) -> Iterator[None]:
+        """Serialize shard consolidation across processes and hosts.
+
+        Contenders spin on the O_EXCL lock file (a merge is one dedup
+        read plus a handful of appends — fast); a lock whose holder died
+        goes stale after ``lease_ttl`` and is stolen through the same
+        atomic-rename protocol as job leases.
+        """
+        path = self.root / "merge.lock"
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # released under us; retry at once
+                if age > self.lease_ttl:
+                    tomb = path.with_name(f"merge.lock.stale-{uuid.uuid4().hex}")
+                    try:
+                        os.rename(path, tomb)
+                    except OSError:
+                        pass  # another contender won the steal
+                    else:
+                        try:
+                            tomb.unlink()
+                        except OSError:
+                            pass
+                    continue
+                time.sleep(0.05)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(worker_name())
+            yield
+        finally:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def merge(self, store: Optional[ResultsStore] = None) -> ResultsStore:
+        """Consolidate all worker shards into ``store`` (default: the
+        queue root's own ``results.jsonl``) with key-level dedup.
+
+        Idempotent — shards stay in place as the source of truth, so a
+        merge interrupted mid-append is healed by the next one.
+        Concurrent callers (``work`` pools finishing on several hosts at
+        once) serialize through an on-disk lock, so the merged file never
+        sees interleaved appends.
+        """
+        target = store if store is not None else self.store
+        with self._merge_lock():
+            target.merge_shards(self.shards())
+        return target
+
+    # -- failures --------------------------------------------------------------
+
+    def _failure_path(self, key: str) -> Path:
+        return self.failures_dir / f"{self._digest(key)}.json"
+
+    def record_failure(self, lease: Lease, error: str, worker_id: str) -> None:
+        """Persist a job failure and drop the claim.
+
+        Failed jobs are not retried within a sweep (a deterministic flow
+        would fail identically on every worker); re-enqueueing after
+        :meth:`clear_failure` opts a job back in.
+        """
+        record = {
+            "schema": _SCHEMA,
+            "key": lease.key,
+            "worker": worker_id,
+            "error": error,
+            "time": time.time(),
+        }
+        path = self._failure_path(lease.key)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)  # last failure wins
+        except OSError:
+            pass
+        lease.release()
+
+    def clear_failure(self, key: str) -> None:
+        try:
+            self._failure_path(key).unlink()
+        except OSError:
+            pass
+
+    def failures(self) -> Dict[str, Dict[str, object]]:
+        """Recorded failures keyed by job key."""
+        out: Dict[str, Dict[str, object]] = {}
+        for path in sorted(self.failures_dir.glob("*.json")):
+            record = self._read_json(path)
+            if record and "key" in record:
+                out[str(record["key"])] = record
+        return out
+
+    # -- claiming --------------------------------------------------------------
+
+    def _lease_path(self, key: str) -> Path:
+        return self.leases_dir / f"{self._digest(key)}.lease"
+
+    def _try_acquire(self, key: str, payload: dict, worker_id: str) -> Optional[Lease]:
+        """One O_EXCL claim attempt, reclaiming an expired lease if present."""
+        path = self._lease_path(key)
+        for _ in range(2):  # second pass runs after stealing a stale lease
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # released under us; retry the create at once
+                if age <= self.lease_ttl:
+                    return None  # live claim elsewhere
+                # expired: of all workers that see it, only the one whose
+                # atomic rename succeeds may re-create the lease
+                tomb = path.with_name(f"{path.name}.stale-{uuid.uuid4().hex}")
+                try:
+                    os.rename(path, tomb)
+                except OSError:
+                    return None  # lost the steal race
+                try:
+                    tomb.unlink()
+                except OSError:
+                    pass
+                continue
+            record = {
+                "schema": _SCHEMA,
+                "key": key,
+                "worker": worker_id,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "claimed_at": time.time(),
+            }
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True))
+            return Lease(key=key, payload=payload, path=path)
+        return None
+
+    def claim(
+        self, worker_id: str, only_keys: Optional[Set[str]] = None
+    ) -> Optional[Lease]:
+        """Claim one runnable job, or None when nothing is claimable now.
+
+        Skips completed keys (any shard or the merged store), recorded
+        failures, and live leases; reclaims expired ones.  ``only_keys``
+        restricts the scan to a subset of job keys — how ``run_batch``
+        keeps its workers off unrelated jobs sharing the queue
+        directory.  ``None`` does not mean the sweep is finished — other
+        workers may still hold live leases (see :meth:`status` or
+        :func:`run_worker`).
+        """
+        done = set(self.completed())
+        failed = set(self.failures())
+        for key, payload in self.jobs().items():
+            if only_keys is not None and key not in only_keys:
+                continue
+            if key in done or key in failed:
+                continue
+            lease = self._try_acquire(key, payload, worker_id)
+            if lease is None:
+                continue
+            # the key may have completed between the scan and the claim
+            # (another worker's shard append); never run it twice knowingly
+            if key in self.completed():
+                lease.release()
+                continue
+            return lease
+        return None
+
+    # -- completion ------------------------------------------------------------
+
+    def complete(self, lease: Lease, metrics: FlowMetrics, worker_id: str) -> None:
+        """Durably record a finished job, then drop the claim.
+
+        The shard append lands (fsynced) *before* the lease is released:
+        a crash in between leaves a completed job with a lease that
+        merely expires — never a released lease with a lost result.
+        """
+        self.shard_for(worker_id).append(lease.key, metrics)
+        lease.release()
+
+    # -- inspection ------------------------------------------------------------
+
+    def status(self) -> QueueStatus:
+        """Snapshot progress: totals, live/stale leases, failures."""
+        jobs = self.jobs()
+        done = set(self.completed())
+        failures = self.failures()
+        digest_to_key = {self._digest(key): key for key in jobs}
+        now = time.time()
+        active: List[Dict[str, object]] = []
+        stale: List[Dict[str, object]] = []
+        for path in sorted(self.leases_dir.glob("*.lease")):
+            record = self._read_json(path) or {}
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # released between the glob and the stat
+            entry = {
+                "key": digest_to_key.get(path.stem, record.get("key", path.stem)),
+                "worker": record.get("worker", "?"),
+                "age_s": age,
+            }
+            (stale if age > self.lease_ttl else active).append(entry)
+        completed = sum(1 for key in jobs if key in done)
+        failed = sum(1 for key in jobs if key in failures and key not in done)
+        return QueueStatus(
+            total=len(jobs),
+            completed=completed,
+            failed=failed,
+            claimed=len(active),
+            pending=len(jobs) - completed - failed,
+            active=active,
+            stale=stale,
+            failures={k: v for k, v in failures.items() if k in jobs},
+        )
+
+    def drained(self, only_keys: Optional[Set[str]] = None) -> bool:
+        """True when every queued job (or every job in ``only_keys``) has
+        completed or failed."""
+        jobs = self.jobs()
+        keys = jobs.keys() if only_keys is None else only_keys & jobs.keys()
+        if not keys:
+            return True
+        done = set(self.completed())
+        failed = set(self.failures())
+        return all(key in done or key in failed for key in keys)
+
+
+def _heartbeat_loop(lease: Lease, stop: threading.Event, interval: float) -> None:
+    while not stop.wait(interval):
+        lease.heartbeat()
+
+
+def run_worker(
+    queue: WorkQueue | str | Path,
+    execute: Executor,
+    worker_id: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
+    heartbeat_interval: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+    wait: bool = True,
+    poll_interval: Optional[float] = None,
+    only_keys: Optional[Set[str]] = None,
+) -> int:
+    """Drain a queue: claim, execute, record, repeat.  Returns jobs done.
+
+    ``only_keys`` scopes the worker to a subset of the queue's jobs
+    (claiming and the ``wait`` drain condition both respect it): a
+    ``run_batch`` call sharing a persistent queue directory with other
+    sweeps must neither execute nor block on their jobs.
+
+    Each claimed job runs under a daemon heartbeat thread so long flows
+    keep their lease fresh.  Per-job failures are recorded to the queue
+    (other jobs still run; callers decide whether missing results are
+    fatal); ``KeyboardInterrupt``/``SystemExit`` release the claim
+    un-failed and propagate, so an interrupted worker's job is simply
+    picked up by a survivor.
+
+    ``wait=True`` keeps the worker polling while unclaimed work might
+    still materialize — i.e. until every queued job is completed or
+    failed — which is what lets a surviving worker outlive a crashed
+    one and reclaim its expired lease.  ``wait=False`` exits at the
+    first moment nothing is claimable.
+    """
+    if not isinstance(queue, WorkQueue):
+        queue = WorkQueue(queue, lease_ttl=lease_ttl if lease_ttl else 300.0)
+    worker = worker_id if worker_id is not None else worker_name()
+    interval = (
+        heartbeat_interval
+        if heartbeat_interval is not None
+        else max(queue.lease_ttl / 4.0, 0.05)
+    )
+    poll = (
+        poll_interval
+        if poll_interval is not None
+        else min(max(queue.lease_ttl / 4.0, 0.05), 2.0)
+    )
+    done = 0
+    while max_jobs is None or done < max_jobs:
+        lease = queue.claim(worker, only_keys=only_keys)
+        if lease is None:
+            if not wait or queue.drained(only_keys):
+                break
+            time.sleep(poll)  # in-flight work elsewhere may yet expire
+            continue
+        stop = threading.Event()
+        beater = threading.Thread(
+            target=_heartbeat_loop, args=(lease, stop, interval), daemon=True
+        )
+        beater.start()
+        try:
+            metrics = execute(lease.payload)
+        except (KeyboardInterrupt, SystemExit):
+            stop.set()
+            beater.join()
+            lease.release()  # unclaimed again: a surviving worker takes it
+            raise
+        except BaseException:
+            stop.set()
+            beater.join()
+            queue.record_failure(lease, traceback.format_exc(), worker)
+            continue
+        stop.set()
+        beater.join()
+        queue.complete(lease, metrics, worker)
+        done += 1
+    return done

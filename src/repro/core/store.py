@@ -26,7 +26,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .results import FlowMetrics
 
@@ -89,12 +89,17 @@ class ResultsStore:
 
     Keys are caller-defined job identities (see ``BatchJob.key()``); the
     last record per key wins, so re-running a job simply supersedes it.
+
+    ``filename`` names the JSONL file inside ``root`` — the distributed
+    queue (:mod:`repro.core.queue`) gives every worker its own shard file
+    in a shared directory and consolidates them with
+    :meth:`merge_shards`.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, filename: str = "results.jsonl") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.path = self.root / "results.jsonl"
+        self.path = self.root / filename
         #: parsed records memoized against the file's (mtime_ns, size) —
         #: resuming a large sweep reads the JSONL once, not per caller
         self._cache_stamp: Optional[Tuple[int, int]] = None
@@ -165,6 +170,33 @@ class ResultsStore:
 
     def keys(self) -> List[str]:
         return list(self.completed())
+
+    def merge_shards(
+        self, shards: Iterable["ResultsStore" | str | Path]
+    ) -> int:
+        """Consolidate per-worker shard stores into this store.
+
+        Dedup is key-level: a key already present here — or already taken
+        from an earlier shard in this call — is skipped, so a job that
+        two workers both completed (a lease expired under a live-but-slow
+        worker) lands exactly once.  Flow execution is deterministic per
+        key, so duplicate completions carry identical records and the
+        choice of survivor does not matter.  Returns the number of
+        records appended.
+        """
+        have = set(self.completed())
+        merged = 0
+        for shard in shards:
+            if isinstance(shard, (str, Path)):
+                shard_path = Path(shard)
+                shard = ResultsStore(shard_path.parent, filename=shard_path.name)
+            for key, metrics in shard.completed().items():
+                if key in have:
+                    continue
+                self.append(key, metrics)
+                have.add(key)
+                merged += 1
+        return merged
 
     def to_parquet(self, path: str | Path | None = None) -> Path:
         """Export the store to a Parquet file (requires ``pyarrow``)."""

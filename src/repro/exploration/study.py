@@ -12,21 +12,28 @@ programmatically:
 3. locally uniform power with irregular TSVs or islands decorrelates.
 
 :func:`run_batch` fans whole floorplanning flows (multiple benchmarks,
-modes, and seeds) across a process pool and aggregates the resulting
+modes, and seeds) across worker processes and aggregates the resulting
 :class:`~repro.core.results.FlowMetrics` — the scenario-sweep workhorse
-for Table 2-style studies at paper-scale replication counts.
+for Table 2-style studies at paper-scale replication counts.  It is a
+thin single-host frontend over the distributed queue backend
+(:mod:`repro.core.queue`): jobs are enqueued into a filesystem work
+queue, local worker processes drain it, and the same queue directory can
+simultaneously be drained by ``repro.cli work`` pools on other hosts
+sharing the filesystem.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core.queue import WorkQueue, run_worker
 from ..core.results import FlowMetrics, aggregate_metrics
 from ..core.store import ResultsStore
 from ..floorplan.objectives import FloorplanMode
@@ -43,6 +50,8 @@ __all__ = [
     "BatchJob",
     "run_batch",
     "summarize_batch",
+    "execute_batch_payload",
+    "batch_worker_main",
 ]
 
 
@@ -204,23 +213,70 @@ def _execute_batch_job(job: BatchJob) -> FlowMetrics:
     return run_flow(circuit, stack, config).metrics
 
 
+def execute_batch_payload(payload: dict) -> FlowMetrics:
+    """Queue executor for :class:`BatchJob` payloads (``asdict`` form).
+
+    This is what ``repro.cli work`` workers and the :func:`run_batch`
+    frontend both run, so single-host and multi-host sweeps execute the
+    exact same flow path.
+    """
+    return _execute_batch_job(BatchJob(**payload))
+
+
+def batch_worker_main(
+    queue_dir: str,
+    lease_ttl: float = 300.0,
+    cache_dir: Optional[str] = None,
+    worker_id: Optional[str] = None,
+    max_jobs: Optional[int] = None,
+    only_keys: Optional[frozenset] = None,
+) -> int:
+    """One queue-draining worker process (the ``repro.cli work`` unit).
+
+    Configures the process-wide solver/model caches, then claims and
+    executes :class:`BatchJob` payloads until the queue is drained —
+    all of it, or just ``only_keys`` when the caller owns a subset.
+    Returns the number of jobs this worker completed.
+    """
+    _init_batch_worker(cache_dir)
+    queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+    return run_worker(
+        queue,
+        execute_batch_payload,
+        worker_id=worker_id,
+        max_jobs=max_jobs,
+        only_keys=only_keys,
+    )
+
+
 def run_batch(
     jobs: Iterable[BatchJob],
     processes: Optional[int] = None,
     store: Union[ResultsStore, str, Path, None] = None,
     cache_dir: Union[str, Path, None] = None,
+    queue_dir: Union[str, Path, None] = None,
+    lease_ttl: float = 300.0,
 ) -> List[FlowMetrics]:
-    """Run many flow invocations, fanning out across a process pool.
+    """Run many flow invocations through the distributed queue backend.
 
-    ``processes=None`` sizes the pool to ``min(len(jobs), cpu_count)``;
-    ``processes<=1`` runs serially in-process (useful under profilers and
-    in tests).  Results come back in job order.
+    ``processes=None`` sizes the local worker pool to
+    ``min(len(jobs), cpu_count)``; ``processes<=1`` drains the queue
+    serially in-process (useful under profilers and in tests).  Results
+    come back in job order.
 
     ``store`` (a :class:`~repro.core.store.ResultsStore` or a directory
     path) makes the sweep durable and resumable: jobs whose key is
-    already recorded are returned from the store without re-running, and
-    every newly finished job is appended the moment it completes — an
-    interrupted 50-seed sweep loses at most the in-flight flows.
+    already recorded are returned from the store without re-running,
+    every newly finished job lands durably in a worker shard the moment
+    it completes, and shards are consolidated into the store when the
+    sweep finishes — an interrupted 50-seed sweep loses at most the
+    in-flight flows.
+
+    ``queue_dir`` pins the work queue to a known directory so *other
+    hosts* sharing the filesystem can join the same sweep with
+    ``repro.cli work --queue-dir``.  Default: ``<store>/queue`` when a
+    store is given (shards survive interruptions), else a temporary
+    directory that vanishes with the call.
 
     ``cache_dir`` names a shared on-disk cache directory: workers persist
     detailed-solver factorizations and calibrated fast-thermal models
@@ -239,51 +295,80 @@ def run_batch(
     if not pending:
         return results  # fully resumed from the store
 
-    def record(index: int, metrics: FlowMetrics) -> None:
-        results[index] = metrics
+    own_tmp: Optional[tempfile.TemporaryDirectory] = None
+    if queue_dir is None:
         if store is not None:
-            store.append(jobs[index].key(), metrics)
+            queue_dir = store.root / "queue"
+        else:
+            own_tmp = tempfile.TemporaryDirectory(prefix="repro-queue-")
+            queue_dir = own_tmp.name
+    try:
+        queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+        for i in pending:
+            key = jobs[i].key()
+            queue.enqueue(key, asdict(jobs[i]))
+            # a re-run is an explicit request to retry previous failures
+            queue.clear_failure(key)
+        # a persistent queue dir may hold other sweeps' jobs (an earlier
+        # interrupted run_batch with different knobs, or a live `work`
+        # pool): this call's workers run — and block on — only its own
+        pending_keys = frozenset(jobs[i].key() for i in pending)
 
-    if processes is None:
-        processes = min(len(pending), os.cpu_count() or 1)
-    if processes <= 1 or len(pending) == 1:
-        # the serial path configures the *current* process's caches; put
-        # them back afterwards so library callers see no lasting change
-        from ..floorplan.objectives import model_cache_dir, set_model_cache_dir
-        from ..thermal.steady_state import default_solver_cache
+        if processes is None:
+            processes = min(len(pending), os.cpu_count() or 1)
+        if processes <= 1 or len(pending) == 1:
+            # the serial path configures the *current* process's caches;
+            # put them back afterwards so library callers see no change
+            from ..floorplan.objectives import model_cache_dir, set_model_cache_dir
+            from ..thermal.steady_state import default_solver_cache
 
-        prev_disk = default_solver_cache().disk_dir
-        prev_model = model_cache_dir()
-        try:
-            _init_batch_worker(cache_dir)
-            for i in pending:
-                record(i, _execute_batch_job(jobs[i]))
-        finally:
-            cache = default_solver_cache()
-            cache.disk_dir = prev_disk
-            # disk-loaded solvers solve through triangular substitution;
-            # they must not keep serving later same-process callers
-            cache.drop_persisted_solvers()
-            set_model_cache_dir(prev_model)
-        return results
-    with ProcessPoolExecutor(
-        max_workers=processes,
-        initializer=_init_batch_worker,
-        initargs=(cache_dir,),
-    ) as pool:
-        futures = {pool.submit(_execute_batch_job, jobs[i]): i for i in pending}
-        # drain every future before raising: one failed flow must not
-        # discard the siblings that finished after it (they are recorded
-        # durably, so the re-run resumes past them)
-        first_error: Optional[BaseException] = None
-        for future in as_completed(futures):
+            prev_disk = default_solver_cache().disk_dir
+            prev_model = model_cache_dir()
             try:
-                record(futures[future], future.result())
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
-        if first_error is not None:
-            raise first_error
+                _init_batch_worker(cache_dir)
+                run_worker(queue, execute_batch_payload, only_keys=pending_keys)
+            finally:
+                cache = default_solver_cache()
+                cache.disk_dir = prev_disk
+                # disk-loaded solvers solve through triangular
+                # substitution; they must not keep serving later
+                # same-process callers
+                cache.drop_persisted_solvers()
+                set_model_cache_dir(prev_model)
+        else:
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                futures = [
+                    pool.submit(
+                        batch_worker_main,
+                        str(queue_dir),
+                        lease_ttl,
+                        cache_dir,
+                        only_keys=pending_keys,
+                    )
+                    for _ in range(processes)
+                ]
+                # only worker *infrastructure* errors surface here; a
+                # failing flow is recorded per-job in the queue and the
+                # sibling jobs keep running to durable completion
+                for future in as_completed(futures):
+                    future.result()
+
+        merged = queue.merge(store).completed()
+        failures = queue.failures()
+        for i in pending:
+            key = jobs[i].key()
+            metrics = merged.get(key)
+            if metrics is None:
+                detail = failures.get(key, {}).get("error", "job never completed")
+                raise RuntimeError(
+                    f"batch job {jobs[i].label()} failed "
+                    f"({len(failures)} failed in total); queue dir: "
+                    f"{queue_dir}\n{detail}"
+                )
+            results[i] = metrics
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
     return results
 
 

@@ -39,7 +39,9 @@ class MoveRecord(str):
         return obj
 
 
-def _random_die_with_blocks(state: LayoutState, rng: np.random.Generator, minimum: int = 1) -> int | None:
+def _random_die_with_blocks(
+    state: LayoutState, rng: np.random.Generator, minimum: int = 1
+) -> int | None:
     candidates = [d for d, p in enumerate(state.pairs) if len(p) >= minimum]
     if not candidates:
         return None
@@ -137,7 +139,9 @@ def move_shift_in_sequence(state: LayoutState, rng: np.random.Generator) -> Opti
     return {die}
 
 
-_MOVES: List[Tuple[str, Callable[[LayoutState, np.random.Generator], Optional[Set[int]]], float]] = [
+_MoveFn = Callable[[LayoutState, np.random.Generator], Optional[Set[int]]]
+
+_MOVES: List[Tuple[str, _MoveFn, float]] = [
     ("swap_s1", move_swap_in_s1, 0.22),
     ("swap_both", move_swap_in_both, 0.22),
     ("rotate", move_rotate, 0.12),

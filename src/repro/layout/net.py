@@ -8,7 +8,7 @@ This matches how Corblivar scores interconnects for stacked dies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Iterable, Mapping, Sequence, Tuple
 
 from .geometry import Point
 from .module import Placement

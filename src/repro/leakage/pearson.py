@@ -8,7 +8,7 @@ spirit as the side-channel vulnerability factor (SVF).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

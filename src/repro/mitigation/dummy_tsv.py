@@ -27,7 +27,7 @@ is rebuilt per accepted pattern; grids are kept moderate for that reason.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

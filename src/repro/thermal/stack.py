@@ -120,7 +120,9 @@ class ThermalStack:
         ]
 
 
-def _uniform(material: Material, shape: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _uniform(
+    material: Material, shape: Tuple[int, int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     k = np.full(shape, material.conductivity)
     return k, k.copy(), np.full(shape, material.capacity)
 
@@ -226,7 +228,10 @@ def build_stack(
 
     layers: List[Layer] = []
 
-    def add_uniform(name: str, material: Material, thickness: float, power_die: int | None = None) -> None:
+    def add_uniform(
+        name: str, material: Material, thickness: float,
+        power_die: int | None = None,
+    ) -> None:
         kv, kl, cap = _uniform(material, shape)
         layers.append(Layer(name, thickness, kv, kl, cap, power_die))
 
@@ -283,7 +288,10 @@ def build_stack(
                 )
             )
             kv, kl, cap = _uniform(SILICON, shape)
-            extra.append(Layer(f"die{die}_active", dimensions["active"], kv, kl, cap, power_die=die))
+            extra.append(
+                Layer(f"die{die}_active", dimensions["active"], kv, kl, cap,
+                      power_die=die)
+            )
             kv, kl, cap = _uniform(BEOL, shape)
             extra.append(Layer(f"die{die}_beol", dimensions["beol"], kv, kl, cap))
         cooling = layers[-3:]

@@ -25,6 +25,29 @@ class TestParser:
         assert args.benchmarks == ["n100", "n300"]
         assert args.runs == 3
 
+    def test_enqueue_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["enqueue", "n100"])
+        args = build_parser().parse_args(
+            ["enqueue", "n100", "--queue-dir", "/tmp/q", "--seeds", "4"]
+        )
+        assert args.queue_dir == "/tmp/q"
+        assert args.seeds == 4
+        assert args.modes == ["power_aware", "tsc_aware"]
+
+    def test_work_defaults(self):
+        args = build_parser().parse_args(["work", "--queue-dir", "/tmp/q"])
+        assert args.workers == 1
+        assert args.lease_ttl == pytest.approx(300.0)
+        assert args.cache_dir is None
+        assert args.max_jobs is None
+
+    def test_sweep_status_flags(self):
+        args = build_parser().parse_args(
+            ["sweep-status", "--queue-dir", "/tmp/q", "--merge"]
+        )
+        assert args.merge is True
+
 
 class TestCommands:
     def test_benchmarks_listing(self, capsys):
@@ -45,3 +68,46 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "r1=" in out and "power=" in out
+
+
+class TestQueueCommands:
+    def test_enqueue_work_status_round_trip(self, tmp_path, capsys):
+        """The multi-host verbs end-to-end on one tiny sweep."""
+        qdir = str(tmp_path / "q")
+        argv = ["enqueue", "n100", "--modes", "power_aware", "--seeds", "1",
+                "--iterations", "25", "--grid", "12", "--queue-dir", qdir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "enqueued 1 new jobs" in out
+        # enqueue is idempotent
+        assert main(argv) == 0
+        assert "enqueued 0 new jobs" in capsys.readouterr().out
+
+        assert main(["sweep-status", "--queue-dir", qdir]) == 0
+        out = capsys.readouterr().out
+        assert "1 jobs" in out and "pending 1" in out
+
+        assert main(["work", "--queue-dir", qdir,
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "completed 1 job(s)" in out
+
+        assert main(["sweep-status", "--queue-dir", qdir, "--merge"]) == 0
+        out = capsys.readouterr().out
+        assert "completed 1" in out and "pending 0" in out
+
+        from repro.core.store import ResultsStore
+
+        merged = ResultsStore(qdir).completed()
+        assert len(merged) == 1
+        (metrics,) = merged.values()
+        assert metrics.benchmark == "n100"
+
+    def test_work_on_empty_queue_errors(self, tmp_path, capsys):
+        assert main(["work", "--queue-dir", str(tmp_path / "empty")]) == 1
+        assert "is empty" in capsys.readouterr().out
+
+    def test_enqueue_rejects_zero_seeds(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["enqueue", "n100", "--seeds", "0",
+                  "--queue-dir", str(tmp_path)])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.layout.die import Die, StackConfig
+from repro.layout.die import StackConfig
 from repro.layout.floorplan import Floorplan3D
 from repro.layout.geometry import Rect
 from repro.layout.grid import GridSpec

@@ -14,9 +14,7 @@ from repro.floorplan.objectives import (
 )
 from repro.floorplan.seqpair import LayoutState
 from repro.layout.die import StackConfig
-from repro.layout.module import Module, Placement
 from repro.layout.net import Net, Terminal
-from repro.layout.floorplan import Floorplan3D
 
 
 @pytest.fixture(scope="module")

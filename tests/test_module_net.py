@@ -1,6 +1,5 @@
 """Tests for modules, placements, nets, and terminals."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -97,6 +97,69 @@ class TestRunManyOracle:
         with pytest.raises(ValueError):
             solver.run_many(self._traces(grid, 1), duration=0.0, dt=0.01)
 
+    @pytest.mark.parametrize("chunk", [1, 3, 7, 100])
+    def test_chunked_batch_matches_unchunked(self, chunk):
+        """``max_traces_in_flight`` bounds memory without changing the
+        answer: traces are independent, so chunked lock-step matches full
+        lock-step to machine precision (SuperLU's multi-RHS back
+        substitution is not bitwise stable across batch widths, same as
+        the ``run`` vs ``run_many`` oracle above)."""
+        grid, solver = self._solver()
+        fns = self._traces(grid, 7)
+        full = solver.run_many(fns, duration=0.04, dt=0.005)
+        chunked = solver.run_many(
+            fns, duration=0.04, dt=0.005, max_traces_in_flight=chunk
+        )
+        assert len(chunked) == len(full)
+        for a, b in zip(chunked, full):
+            np.testing.assert_allclose(a.die_means, b.die_means, atol=1e-12)
+            np.testing.assert_allclose(a.die_peaks, b.die_peaks, atol=1e-12)
+            np.testing.assert_array_equal(a.times, b.times)
+
+    def test_chunked_batch_slices_per_trace_t0(self):
+        grid, solver = self._solver()
+        fns = self._traces(grid, 5)
+        n = solver.network.num_nodes
+        rng = np.random.default_rng(3)
+        t0 = solver.stack.ambient + rng.random((n, 5))
+        full = solver.run_many(fns, duration=0.02, dt=0.005, t0=t0)
+        chunked = solver.run_many(
+            fns, duration=0.02, dt=0.005, t0=t0, max_traces_in_flight=2
+        )
+        for a, b in zip(chunked, full):
+            np.testing.assert_allclose(a.die_means, b.die_means, atol=1e-12)
+        # the full-batch t0 is validated before any chunk runs
+        with pytest.raises(ValueError):
+            solver.run_many(
+                fns, duration=0.02, dt=0.005,
+                t0=t0[:, :3], max_traces_in_flight=2,
+            )
+
+    def test_chunked_t0_none_never_materializes_full_batch(self):
+        """With no caller-supplied t0, chunking must allocate nodal state
+        chunk-by-chunk — a full (nodes, traces) matrix up front would
+        defeat the memory ceiling the parameter provides."""
+        grid, solver = self._solver()
+        fns = self._traces(grid, 6)
+        batches = []
+        orig = solver._initial
+
+        def spy(t0, batch):
+            batches.append(batch)
+            return orig(t0, batch)
+
+        solver._initial = spy
+        solver.run_many(fns, duration=0.01, dt=0.005, max_traces_in_flight=2)
+        assert batches and max(batches) == 2
+
+    def test_chunk_size_validation(self):
+        grid, solver = self._solver()
+        with pytest.raises(ValueError):
+            solver.run_many(
+                self._traces(grid, 2), duration=0.02, dt=0.005,
+                max_traces_in_flight=0,
+            )
+
     def test_dt_factorization_lru(self):
         """Alternating step sizes reuse their factorizations."""
         grid, solver = self._solver()

@@ -16,8 +16,7 @@ from repro.thermal.materials import (
     tsv_composite_lateral,
     tsv_composite_vertical,
 )
-from repro.thermal.rc_network import assemble
-from repro.thermal.stack import DEFAULT_DIMENSIONS, build_stack
+from repro.thermal.stack import build_stack
 from repro.thermal.steady_state import SteadyStateSolver
 from repro.thermal.transient import TransientSolver, thermal_time_constant
 

@@ -10,7 +10,7 @@ from repro.layout.floorplan import Floorplan3D
 from repro.layout.module import Module, Placement
 from repro.layout.net import Net
 from repro.timing.delay_model import K_DELAY_NS_PER_UM, ensure_intrinsic_delays, module_delay_ns
-from repro.timing.elmore import DEFAULT_TECH, WireTechnology, net_delay_ns
+from repro.timing.elmore import WireTechnology, net_delay_ns
 from repro.timing.paths import TimingGraph
 
 
