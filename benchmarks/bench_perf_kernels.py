@@ -335,6 +335,58 @@ def test_mitigation_round_loop_sampling(benchmark, mitigation_floorplan, monkeyp
     )
 
 
+# -- low-rank Woodbury candidate solves (Sec. 6.2 speculative scoring) ------------
+#
+# One speculative dummy-TSV candidate at the paper-scale verification
+# grid (64x64): the Woodbury path assembles the perturbed network and
+# scores it through the round's base LU (a rank-r batched
+# back-substitution plus dense corrections); the refactorize variant
+# pays the full sparse LU every candidate used to cost.  The committed
+# baseline gates their ratio at >= 3x (see check_bench_regression.py).
+
+
+@pytest.fixture(scope="module")
+def woodbury_candidate_setup(n100_state):
+    from repro.thermal.steady_state import SteadyStateSolver as _SSS
+
+    _, stack_cfg, _ = n100_state
+    grid = GridSpec(stack_cfg.outline, 64, 64)
+    base = _SSS(build_stack(stack_cfg, grid))
+    # one insertion round's candidate group: tsvs_per_round=8 clustered
+    # bins, the shape stability-guided selection produces on smooth maps
+    density = np.zeros(grid.shape)
+    density[30:32, 28:32] = 0.6
+    cells = grid.nx * grid.ny
+    pm = [np.full(grid.shape, 4.0 / cells) for _ in range(2)]
+    return base, stack_cfg, grid, density, pm
+
+
+def test_mitigation_candidate_woodbury_64(benchmark, woodbury_candidate_setup):
+    from repro.thermal.steady_state import WoodburySolver
+
+    base, stack_cfg, grid, density, pm = woodbury_candidate_setup
+
+    def score_candidate():
+        stack = build_stack(stack_cfg, grid, tsv_density=density)
+        solver = WoodburySolver(base, stack, crossover_rank=10_000)
+        assert solver.is_low_rank
+        return solver.solve(pm)
+
+    benchmark.pedantic(score_candidate, rounds=3, iterations=1)
+
+
+def test_mitigation_candidate_refactorize_64(benchmark, woodbury_candidate_setup):
+    from repro.thermal.steady_state import SteadyStateSolver as _SSS
+
+    base, stack_cfg, grid, density, pm = woodbury_candidate_setup
+
+    def score_candidate():
+        stack = build_stack(stack_cfg, grid, tsv_density=density)
+        return _SSS(stack).solve(pm)
+
+    benchmark.pedantic(score_candidate, rounds=2, iterations=1)
+
+
 # -- warm-cache batch sweeps ------------------------------------------------------
 #
 # (a) resuming a recorded sweep from the results store costs file reads,

@@ -23,6 +23,11 @@ or deleted benchmark would otherwise silently leave that kernel ungated
 forever.  Deliberate subset runs (local spot checks) opt out with
 ``--allow-missing``.  Kernels in the run but not the baseline are listed
 so they can be adopted with ``--update``.
+
+``RATIO_GATES`` additionally pins paired fast/slow kernels to a minimum
+speedup *within one run* (no calibration scaling, so the floor holds on
+any machine): e.g. the Woodbury candidate-scoring kernel must stay at
+least 3x faster than its refactorize-per-candidate counterpart.
 """
 
 from __future__ import annotations
@@ -50,6 +55,20 @@ TRACKED = [
     "test_transient_traces_batched_run_many",
     "test_local_correlation_map_vectorized_64",
     "test_detailed_solve_32",
+    "test_mitigation_candidate_woodbury_64",
+    "test_mitigation_candidate_refactorize_64",
+]
+
+#: paired-kernel speedup floors, checked within one run (so they are
+#: machine-independent — no calibration scaling involved): the fast
+#: kernel must stay at least ``min_ratio`` x faster than its slow
+#: counterpart, or the optimization it embodies has silently rotted
+RATIO_GATES = [
+    {
+        "fast": "test_mitigation_candidate_woodbury_64",
+        "slow": "test_mitigation_candidate_refactorize_64",
+        "min_ratio": 3.0,
+    },
 ]
 
 
@@ -165,6 +184,20 @@ def main(argv=None) -> int:
     if untracked:
         print(f"note: kernels not in baseline: {', '.join(untracked)}")
 
+    ratio_failures = []
+    for gate in RATIO_GATES:
+        fast, slow = means.get(gate["fast"]), means.get(gate["slow"])
+        if fast is None or slow is None:
+            # absent kernels are already handled by the missing check
+            # (or deliberately skipped under --allow-missing)
+            continue
+        speedup = slow / fast
+        status = "OK" if speedup >= gate["min_ratio"] else "FAIL"
+        print(f"ratio {gate['fast']} vs {gate['slow']}: "
+              f"{speedup:.2f}x (floor {gate['min_ratio']:.1f}x)  {status}")
+        if status == "FAIL":
+            ratio_failures.append((gate, speedup))
+
     if missing:
         print(f"\nFAIL: {len(missing)} tracked kernel(s) missing from the run "
               f"({', '.join(missing)}); a renamed test means an ungated "
@@ -173,7 +206,11 @@ def main(argv=None) -> int:
     if failures:
         print(f"\nFAIL: {len(failures)} kernel(s) slowed past "
               f"{threshold:.2f}x the committed (speed-scaled) baseline")
-    if failures or missing:
+    if ratio_failures:
+        for gate, speedup in ratio_failures:
+            print(f"\nFAIL: {gate['fast']} is only {speedup:.2f}x faster than "
+                  f"{gate['slow']} (floor {gate['min_ratio']:.1f}x)")
+    if failures or missing or ratio_failures:
         return 1
     print("\nbenchmark gate passed")
     return 0

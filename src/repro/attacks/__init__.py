@@ -1,4 +1,9 @@
-"""Thermal side-channel attacks (Sec. 5): characterization, localization."""
+"""Thermal side-channel attacks (paper Sec. 5, plus the Sec. 2.1 covert channel).
+
+The adversary's side of the reproduction: thermal characterization,
+module localization & monitoring, sensor grids, and the covert-channel
+capacity sweep that motivates the mitigation.
+"""
 
 from .characterization import CharacterizationResult, characterize
 from .device import InputActivityModel, ThermalDevice

@@ -1,4 +1,9 @@
-"""Benchmark substrate: GSRC format I/O, synthetic generation, Table 1 suite."""
+"""Benchmark substrate (paper Table 1).
+
+GSRC format I/O, synthetic circuit generation targeting the published
+module/net/power figures, and the Table 1 suite (GSRC n100–n300,
+IBM-HB+ ibm01/03) the paper floorplans in both setups.
+"""
 
 from .generator import BenchmarkSpec, generate_circuit
 from .gsrc import (

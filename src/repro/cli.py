@@ -60,6 +60,8 @@ def _print_metrics(m) -> None:
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     circuit, stack = load(args.benchmark)
     mode = (FloorplanMode.TSC_AWARE if args.mode == "tsc_aware"
             else FloorplanMode.POWER_AWARE)
@@ -68,9 +70,18 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         anneal=AnnealConfig(iterations=args.iterations, seed=args.seed),
         verify_nx=args.grid, verify_ny=args.grid,
     )
+    if args.no_incremental:
+        config = replace(
+            config, mitigation=replace(config.mitigation, incremental=False)
+        )
     outcome = run_flow(circuit, stack, config)
     print(f"[{args.benchmark} / {mode}]")
     _print_metrics(outcome.metrics)
+    if outcome.mitigation is not None:
+        mit = outcome.mitigation
+        print(f"  mitigation: {mit.woodbury_candidates} Woodbury candidates, "
+              f"{mit.refactorized_candidates} refactorized, "
+              f"{mit.rebaselines} re-baseline(s)")
     return 0
 
 
@@ -238,7 +249,9 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .exploration import run_exploration, summarize_findings
 
-    cells = run_exploration(grid_n=args.grid, seed=args.seed)
+    cells = run_exploration(
+        grid_n=args.grid, seed=args.seed, incremental=not args.no_incremental
+    )
     for c in cells:
         print(f"{c.power_pattern:<20}{c.tsv_pattern:<20}"
               f"r1={c.r_bottom:+.3f}  r2={c.r_top:+.3f}  peak={c.peak_k:.1f}K")
@@ -271,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--iterations", type=int, default=1500)
     p_flow.add_argument("--seed", type=int, default=0)
     p_flow.add_argument("--grid", type=int, default=32)
+    p_flow.add_argument("--no-incremental", action="store_true",
+                        help="refactorize every mitigation candidate stack "
+                             "instead of solving them through the round's "
+                             "base LU (the Woodbury path); the slow oracle")
     p_flow.set_defaults(func=_cmd_flow)
 
     p_sweep = sub.add_parser("sweep", help="PA vs TSC over several benchmarks")
@@ -349,6 +366,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("explore", help="Sec. 3 power x TSV study")
     p_exp.add_argument("--grid", type=int, default=24)
     p_exp.add_argument("--seed", type=int, default=2)
+    p_exp.add_argument("--no-incremental", action="store_true",
+                       help="factorize every TSV pattern's network instead "
+                            "of riding the empty-interface factorization "
+                            "via low-rank Woodbury updates")
     p_exp.set_defaults(func=_cmd_explore)
 
     p_b = sub.add_parser("benchmarks", help="list the Table 1 suite")

@@ -1,4 +1,10 @@
-"""The paper's primary contribution: the TSC-aware floorplanning flow."""
+"""The paper's primary contribution: the TSC-aware floorplanning flow (Fig. 3).
+
+The flow driver chaining annealing, voltage assignment, mitigation, and
+detailed verification; the Table 2 metrics records; plus the scale-up
+infrastructure (results store, distributed work queue) behind the
+repo's sweep frontends.
+"""
 
 from .config import FlowConfig, env_int
 from .flow import FlowOutcome, run_flow, verify_correlations

@@ -1,4 +1,9 @@
-"""Exploratory power x TSV studies (Sec. 3, Fig. 2) and batch sweeps."""
+"""Exploratory power x TSV studies (paper Sec. 3, Fig. 2) and batch sweeps.
+
+The 5 power x 6 TSV grid behind Fig. 2's initial findings, and the
+durable multi-process/multi-host batch frontend (`run_batch`) for
+Table 2-scale scenario sweeps.
+"""
 
 from .patterns import POWER_PATTERNS, TSV_PATTERNS, pattern_names, power_pattern, tsv_pattern
 from .study import (

@@ -76,12 +76,20 @@ def run_exploration(
     total_power_w: float = 8.0,
     seed: int = 0,
     cache: SolverCache | None = None,
+    incremental: bool = True,
 ) -> List[ExplorationCell]:
     """Evaluate all 30 power x TSV combinations on a two-die stack.
 
     Solvers come from ``cache`` (default: the process-wide cache), so
     repeated studies — parameter scans over power or seeds on the same
     TSV patterns — factorize each network exactly once.
+
+    ``incremental`` solves the TSV patterns after the first ("none", the
+    empty interface) as low-rank Woodbury updates of that first
+    factorization where the pattern is localized enough (islands, sparse
+    irregular vias); dense patterns exceed the measured crossover and
+    fall back to their own factorization automatically.
+    ``incremental=False`` factorizes every pattern — the oracle path.
     """
     stack_cfg = StackConfig.square(die_side_um)
     grid = GridSpec(stack_cfg.outline, grid_n, grid_n)
@@ -89,9 +97,17 @@ def run_exploration(
     cache = cache if cache is not None else default_solver_cache()
 
     cells: List[ExplorationCell] = []
+    base_solver = None
     for tsv_name in tsv_names:
         _, density = tsv_pattern(tsv_name, stack_cfg, grid, seed=seed)
-        solver = cache.solver(stack_cfg, grid, density)
+        if not incremental or base_solver is None:
+            solver = cache.solver(stack_cfg, grid, density)
+            if base_solver is None:
+                base_solver = solver
+        else:
+            solver = cache.incremental_solver(
+                stack_cfg, grid, density, base=base_solver
+            )
         # all five power patterns ride one factorization per TSV pattern
         pm_pairs = [
             (

@@ -1,4 +1,9 @@
-"""Floorplanning engine: sequence pairs, SA annealer, multi-objective cost."""
+"""Floorplanning engine (paper Sec. 6, the Fig. 3 annealing stage).
+
+Per-die sequence pairs, the simulated-annealing loop, and the
+multi-objective cost evaluator whose TSC-aware mode folds the Eq. 1/
+Eq. 3 leakage terms into the classical area/wirelength/thermal mix.
+"""
 
 from .annealer import AnnealConfig, AnnealResult, anneal
 from .moves import MOVE_NAMES, MoveRecord, apply_random_move

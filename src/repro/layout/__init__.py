@@ -1,4 +1,9 @@
-"""Layout substrate: geometry, modules, nets, dies, TSVs, grids, floorplans."""
+"""Layout substrate (the paper's Sec. 2 system model: stacked dies + TSVs).
+
+Geometry, modules, nets, die stacks, TSV islands (signal and dummy
+thermal), analysis grids, and the `Floorplan3D` container every other
+layer consumes.
+"""
 
 from .die import Die, StackConfig
 from .floorplan import Floorplan3D

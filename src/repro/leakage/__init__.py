@@ -1,4 +1,9 @@
-"""Leakage models: Eq. 1 correlation, Eq. 2 stability, Eq. 3 spatial entropy, SVF."""
+"""Leakage metrics (paper Eq. 1-3 and the cited SVF).
+
+Eq. 1 power-temperature Pearson correlation, Eq. 2 correlation
+stability across activity samples, Eq. 3 nested-means spatial entropy,
+and the side-channel vulnerability factor for cross-checks.
+"""
 
 from .entropy import SpatialEntropyBreakdown, nested_means_classes, spatial_entropy
 from .pearson import average_correlation, die_correlation, local_correlation_map, pearson

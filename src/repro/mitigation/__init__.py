@@ -1,4 +1,10 @@
-"""Mitigation post-processing: activity sampling and dummy-TSV insertion."""
+"""Mitigation post-processing (paper Sec. 6.2, Fig. 4).
+
+Gaussian activity sampling, the Eq. 2 correlation-stability map, and
+the stability-guided dummy-TSV insertion loop with its sweet-spot stop
+criterion — candidates solved through the round's base LU via
+low-rank Woodbury updates.
+"""
 
 from .activity import ActivitySampler, sample_power_maps
 from .dummy_tsv import MitigationConfig, MitigationReport, insert_dummy_tsvs

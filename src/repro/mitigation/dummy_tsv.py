@@ -20,13 +20,19 @@ already-saturated heat path; the runner-up groups keep the loop moving at
 no extra sampling cost (the round's activity samples and stability map
 are shared by all candidates).
 
-Each insertion changes the stack's conductivities, so the thermal solver
-is rebuilt per accepted pattern; grids are kept moderate for that reason.
+Each insertion perturbs only the pierced bins' conductivities, so
+candidate stacks are *not* refactorized: they are solved through the
+round's base LU via the Sherman–Morrison–Woodbury identity
+(:class:`~repro.thermal.steady_state.WoodburySolver`), and the loop only
+pays a fresh factorization when committed insertions have accumulated
+past the measured crossover rank (the solver falls back by itself, and
+the loop adopts that factorization as the new base).  ``incremental=False``
+restores the refactorize-per-candidate oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,7 +42,12 @@ from ..layout.grid import GridSpec
 from ..layout.tsv import TSV, TSVKind, place_island
 from ..leakage.pearson import die_correlation
 from ..leakage.stability import most_stable_bins, stability_map
-from ..thermal.steady_state import SolverCache, SteadyStateSolver
+from ..thermal.steady_state import (
+    SolverCache,
+    SteadyStateSolver,
+    WoodburySolver,
+    woodbury_crossover_rank,
+)
 from .activity import sample_power_maps
 
 __all__ = ["MitigationConfig", "MitigationReport", "insert_dummy_tsvs"]
@@ -66,6 +77,14 @@ class MitigationConfig:
     #: paper's primary leakage metric r1); None = average over dies
     target_die: Optional[int] = None
     seed: int = 0
+    #: solve speculative candidates through the round's base LU via the
+    #: Woodbury identity instead of refactorizing each candidate stack;
+    #: False restores the refactorize-per-candidate oracle
+    incremental: bool = True
+    #: committed-update rank past which the loop re-baselines (fresh
+    #: factorization); None uses the measured crossover for the grid size
+    #: (:func:`~repro.thermal.steady_state.woodbury_crossover_rank`)
+    rebase_rank: Optional[int] = None
 
 
 @dataclass
@@ -81,6 +100,13 @@ class MitigationReport:
     final_correlations: List[float]
     #: stability map of the last round (bottom die)
     last_stability: Optional[np.ndarray] = None
+    #: candidates scored through the base LU (Woodbury path)
+    woodbury_candidates: int = 0
+    #: candidates that paid a full factorization (non-incremental runs,
+    #: or Woodbury fallbacks past the crossover / probe rejection)
+    refactorized_candidates: int = 0
+    #: times the loop adopted a fallback factorization as its new base
+    rebaselines: int = 0
 
     @property
     def initial_correlation(self) -> float:
@@ -135,7 +161,26 @@ def insert_dummy_tsvs(
             die_correlation(p, t) for p, t in zip(nominal_maps, result.die_maps)
         ]
 
-    solver = make_solver(fp)
+    # base_solver carries the loop's one real factorization; candidate
+    # stacks ride it via the Woodbury identity until the accumulated
+    # committed update crosses the re-baseline threshold
+    base_solver = make_solver(fp)
+    solver = base_solver
+    # rank of fp's network relative to base_solver's (0 right after a
+    # [re]baseline); drives the proactive re-baseline decision below
+    committed_rank = 0
+    woodbury_candidates = 0
+    refactorized_candidates = 0
+    rebaselines = 0
+
+    def candidate_solver(candidate: Floorplan3D):
+        if not config.incremental:
+            return make_solver(candidate)
+        return solver_cache.incremental_solver_for_floorplan(
+            candidate, grid, base=base_solver,
+            crossover_rank=config.rebase_rank,
+        )
+
     correlations = correlations_for(solver)
     trace = [_score(correlations, config.target_die)]
     inserted = 0
@@ -182,7 +227,8 @@ def insert_dummy_tsvs(
             break  # every bin is occupied; nothing left to try
 
         # speculative pass: score every candidate group against the same
-        # nominal maps; factorizations go through (and stay in) the cache
+        # nominal maps; incremental solves ride base_solver's LU, and
+        # whatever solver wins stays in the cache for the next round
         best: Optional[Tuple[float, List[Tuple[int, int]], Floorplan3D,
                              SteadyStateSolver, List[float]]] = None
         for bins in candidate_bins:
@@ -202,7 +248,11 @@ def insert_dummy_tsvs(
                         keepout=config.dummy_keepout,
                     )
                 )
-            cand_solver = make_solver(candidate)
+            cand_solver = candidate_solver(candidate)
+            if isinstance(cand_solver, WoodburySolver) and cand_solver.is_low_rank:
+                woodbury_candidates += 1
+            else:
+                refactorized_candidates += 1
             cand_corr = correlations_for(cand_solver)
             cand_score = _score(cand_corr, config.target_die)
             if best is None or cand_score < best[0]:
@@ -217,6 +267,36 @@ def insert_dummy_tsvs(
         solver = cand_solver
         correlations = cand_corr
         trace.append(cand_score)
+        if isinstance(cand_solver, WoodburySolver):
+            if not cand_solver.is_low_rank:
+                # committed insertions crossed the threshold (or the probe
+                # rejected the core): the fallback's factorization becomes
+                # the base the next rounds' candidates ride on
+                base_solver = cand_solver.rebase()
+                solver = base_solver
+                rebaselines += 1
+                committed_rank = 0
+            else:
+                # proactive re-baseline: if the *next* round's candidates
+                # (committed rank + one more group's marginal rank) would
+                # cross the threshold, they would each fall back and pay
+                # their own full factorization — pay exactly one now
+                committed = cand_solver.update.rank
+                marginal = committed - committed_rank
+                threshold = (
+                    config.rebase_rank
+                    if config.rebase_rank is not None
+                    else woodbury_crossover_rank(base_solver.network.num_nodes)
+                )
+                if committed + max(marginal, 0) > threshold:
+                    # the fresh factorization also takes over the round's
+                    # own solves, releasing the wrapper's dense Z state
+                    base_solver = cand_solver.rebase()
+                    solver = base_solver
+                    rebaselines += 1
+                    committed_rank = 0
+                else:
+                    committed_rank = committed
         for (j, i) in bins:
             exclude[j, i] = True
 
@@ -227,4 +307,7 @@ def insert_dummy_tsvs(
         correlation_trace=trace,
         final_correlations=correlations,
         last_stability=last_stability,
+        woodbury_candidates=woodbury_candidates,
+        refactorized_candidates=refactorized_candidates,
+        rebaselines=rebaselines,
     )

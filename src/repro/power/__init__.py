@@ -1,4 +1,9 @@
-"""Power-management substrate: voltage levels, volumes, and assignment."""
+"""Power-management substrate (paper Sec. 6.1: voltage volumes).
+
+Voltage levels and scaling laws, contiguous voltage-volume growth over
+placed modules, and the two assignment objectives (power-aware vs.
+TSC-aware randomized assignment).
+"""
 
 from .assignment import AssignmentObjective, VoltageAssignment, assign_voltages
 from .voltages import (

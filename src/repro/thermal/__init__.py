@@ -1,4 +1,12 @@
-"""Thermal analysis substrate: materials, stack, detailed and fast solvers."""
+"""Thermal analysis substrate (paper Sec. 3-4 and Fig. 1).
+
+Materials and the face-to-back layer stack, finite-volume RC network
+assembly, the detailed steady-state solver the verification stage relies
+on (Sec. 4's analysis role, including low-rank Woodbury solves for
+locally perturbed TSV patterns), the transient solver behind Fig. 1's
+time-scale study, and the calibrated fast power-blurring estimator used
+inside the annealing loop.
+"""
 
 from .fast import FastThermalModel, MaskParams, calibrate
 from .materials import (
@@ -12,7 +20,7 @@ from .materials import (
     tsv_composite_lateral,
     tsv_composite_vertical,
 )
-from .rc_network import ThermalNetwork, assemble
+from .rc_network import LowRankUpdate, ThermalNetwork, assemble, low_rank_update
 from .stack import (
     DEFAULT_DIMENSIONS,
     Layer,
@@ -24,8 +32,10 @@ from .steady_state import (
     SolverCache,
     SteadyStateSolver,
     ThermalResult,
+    WoodburySolver,
     default_solver_cache,
     solve_floorplan,
+    woodbury_crossover_rank,
 )
 from .transient import TransientSolver, TransientTrace, thermal_time_constant
 
@@ -43,17 +53,21 @@ __all__ = [
     "tsv_composite_lateral",
     "tsv_composite_vertical",
     "ThermalNetwork",
+    "LowRankUpdate",
     "assemble",
+    "low_rank_update",
     "Layer",
     "ThermalStack",
     "build_stack",
     "normalize_tsv_densities",
     "DEFAULT_DIMENSIONS",
     "SteadyStateSolver",
+    "WoodburySolver",
     "SolverCache",
     "ThermalResult",
     "solve_floorplan",
     "default_solver_cache",
+    "woodbury_crossover_rank",
     "TransientSolver",
     "TransientTrace",
     "thermal_time_constant",

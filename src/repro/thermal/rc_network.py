@@ -25,7 +25,7 @@ import scipy.sparse as sp
 
 from .stack import ThermalStack
 
-__all__ = ["ThermalNetwork", "assemble"]
+__all__ = ["ThermalNetwork", "LowRankUpdate", "assemble", "low_rank_update"]
 
 #: micrometres -> metres (grids carry um geometry)
 _UM = 1e-6
@@ -66,6 +66,57 @@ class ThermalNetwork:
                 base = layer_idx * grid.ny * grid.nx
                 q[base : base + grid.ny * grid.nx] = pm.ravel()
         return q
+
+
+@dataclass
+class LowRankUpdate:
+    """A localized conductance perturbation, ``G' = G + U·C·Uᵀ``.
+
+    ``U`` is the (implicit) column-selection matrix of the ``rank``
+    touched node indices and ``C`` the dense ``ΔG`` block over them, so
+    the perturbed system never has to be refactorized: a dummy-TSV
+    insertion into a handful of bins touches only the pierced bond/bulk
+    cells, their lateral neighbours, and the secondary-path boundary
+    nodes beneath them, and the Woodbury identity solves ``G'`` through
+    the *base* factorization plus an r×r dense core (see
+    :class:`~repro.thermal.steady_state.WoodburySolver`).
+    """
+
+    #: sorted node indices whose rows/columns of G changed (the set S)
+    indices: np.ndarray
+    #: dense ``(G' - G)[S, S]`` — symmetric, like G itself
+    core: np.ndarray
+
+    @property
+    def rank(self) -> int:
+        return int(self.indices.size)
+
+
+def low_rank_update(
+    base: ThermalNetwork, modified: ThermalNetwork
+) -> LowRankUpdate:
+    """Express ``modified``'s conductance as a low-rank update of ``base``'s.
+
+    Both networks must discretize the same grid and layer count (same
+    node numbering).  Untouched cells assemble to bit-identical
+    conductances, so the support of ``G' - G`` is exactly the touched
+    node set — no tolerance games needed.  The returned rank is the
+    caller's cue for the Woodbury-vs-refactorize crossover decision.
+    """
+    if base.conductance.shape != modified.conductance.shape:
+        raise ValueError(
+            f"cannot express a {modified.conductance.shape} network as an "
+            f"update of a {base.conductance.shape} one"
+        )
+    delta = (modified.conductance - base.conductance).tocoo()
+    mask = delta.data != 0.0
+    rows, cols, vals = delta.row[mask], delta.col[mask], delta.data[mask]
+    indices = np.unique(np.concatenate([rows, cols]))
+    core = np.zeros((indices.size, indices.size))
+    # subtraction of two CSC matrices never duplicates coordinates, so a
+    # plain scatter (not add.at) is enough
+    core[np.searchsorted(indices, rows), np.searchsorted(indices, cols)] = vals
+    return LowRankUpdate(indices=indices, core=core)
 
 
 def assemble(stack: ThermalStack) -> ThermalNetwork:

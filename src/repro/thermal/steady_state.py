@@ -1,12 +1,17 @@
 """Steady-state thermal solver (the detailed, HotSpot-role analysis).
 
 Solves ``G T = q + B * T_amb`` for the nodal temperatures of the full 3D
-RC network.  Two levels of reuse keep repeated analyses cheap:
+RC network.  Three levels of reuse keep repeated analyses cheap:
 
 * :class:`SteadyStateSolver` caches the sparse LU factorization of one
   stack, and :meth:`SteadyStateSolver.solve_many` pushes a whole batch of
   power-map sets through that single factorization (the Gaussian activity
   sampling of Sec. 6.2 runs 100 solves — one back-substitution each);
+* :class:`WoodburySolver` solves a *locally perturbed* stack — a
+  dummy-TSV candidate of the Sec. 6.2 mitigation loop — through the
+  unperturbed stack's factorization via the Sherman–Morrison–Woodbury
+  identity, skipping the per-candidate refactorization entirely as long
+  as the perturbation rank stays below the measured crossover;
 * :class:`SolverCache` memoizes whole solvers keyed by (grid shape, stack
   configuration, TSV-density digest), so flow runs, verification,
   exploration studies, and the mitigation loop stop re-assembling and
@@ -16,6 +21,7 @@ RC network.  Two levels of reuse keep repeated analyses cheap:
 from __future__ import annotations
 
 import hashlib
+import os
 import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -23,21 +29,24 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..layout.die import StackConfig
 from ..layout.floorplan import Floorplan3D
 from ..layout.grid import GridSpec
-from .rc_network import ThermalNetwork, assemble
+from .rc_network import LowRankUpdate, ThermalNetwork, assemble, low_rank_update
 from .stack import ThermalStack, build_stack, normalize_tsv_densities
 
 __all__ = [
     "SteadyStateSolver",
+    "WoodburySolver",
     "SolverCache",
     "ThermalResult",
     "solve_floorplan",
     "default_solver_cache",
+    "woodbury_crossover_rank",
 ]
 
 
@@ -56,6 +65,45 @@ class ThermalResult:
 
     def die_map(self, die: int) -> np.ndarray:
         return self.die_maps[die]
+
+
+def _split_die_maps(stack: ThermalStack, t: np.ndarray) -> List[np.ndarray]:
+    """Per-die active-layer temperature maps out of a nodal vector."""
+    grid = stack.grid
+    npl = grid.nx * grid.ny
+    die_maps: List[np.ndarray] = []
+    for layer_idx, _die in stack.power_layers():
+        block = t[layer_idx * npl : (layer_idx + 1) * npl]
+        die_maps.append(block.reshape(grid.shape).copy())
+    return die_maps
+
+
+def _rhs_vector(
+    network: ThermalNetwork, ambient: float, power_maps: Sequence[np.ndarray]
+) -> np.ndarray:
+    """The steady-state right-hand side: nodal power + ambient boundary term."""
+    return network.power_vector(list(power_maps)) + network.boundary * ambient
+
+
+def _rhs_matrix(
+    network: ThermalNetwork,
+    ambient: float,
+    power_map_sets: Sequence[Sequence[np.ndarray]],
+) -> np.ndarray:
+    """All right-hand sides of a batch as one (N, k) column matrix."""
+    ambient_q = network.boundary * ambient
+    return np.stack(
+        [network.power_vector(list(maps)) + ambient_q for maps in power_map_sets],
+        axis=1,
+    )
+
+
+def _results_from_columns(stack: ThermalStack, t: np.ndarray) -> List[ThermalResult]:
+    """One :class:`ThermalResult` per solution column of a batched solve."""
+    return [
+        ThermalResult(die_maps=_split_die_maps(stack, t[:, i]), nodal=t[:, i].copy())
+        for i in range(t.shape[1])
+    ]
 
 
 class _PersistedLU:
@@ -89,6 +137,12 @@ class _PersistedLU:
         )
         x = spla.spsolve_triangular(self._U, y, lower=False, overwrite_b=True)
         return x[self._perm_c]
+
+
+#: how much slower one persisted-factor back-substitution is than native
+#: SuperLU (measured for the PR 3 disk cache; recorded in ROADMAP) — used
+#: to deflate the Woodbury crossover when the base LU is disk-loaded
+_PERSISTED_LU_RHS_PENALTY = 15
 
 
 def _conductance_digest(matrix: sp.csc_matrix) -> str:
@@ -162,9 +216,12 @@ class SteadyStateSolver:
         stack: ThermalStack,
         reconstructable: bool = False,
         lu=None,
+        network: ThermalNetwork | None = None,
     ) -> None:
         self.stack = stack
-        self.network: ThermalNetwork = assemble(stack)
+        self.network: ThermalNetwork = (
+            network if network is not None else assemble(stack)
+        )
         if lu is not None:
             self._lu = lu
         elif reconstructable:
@@ -173,18 +230,11 @@ class SteadyStateSolver:
             self._lu = spla.splu(self.network.conductance)
 
     def _split(self, t: np.ndarray) -> List[np.ndarray]:
-        grid = self.stack.grid
-        npl = grid.nx * grid.ny
-        die_maps: List[np.ndarray] = []
-        for layer_idx, die in self.stack.power_layers():
-            block = t[layer_idx * npl : (layer_idx + 1) * npl]
-            die_maps.append(block.reshape(grid.shape).copy())
-        return die_maps
+        return _split_die_maps(self.stack, t)
 
     def solve(self, power_maps: Sequence[np.ndarray]) -> ThermalResult:
         """Solve for the given per-die power maps (W per cell)."""
-        q = self.network.power_vector(list(power_maps))
-        q = q + self.network.boundary * self.stack.ambient
+        q = _rhs_vector(self.network, self.stack.ambient, power_maps)
         t = self._lu.solve(q)
         return ThermalResult(die_maps=self._split(t), nodal=t)
 
@@ -201,16 +251,224 @@ class SteadyStateSolver:
         sets = list(power_map_sets)
         if not sets:
             return []
-        ambient_q = self.network.boundary * self.stack.ambient
-        q = np.stack(
-            [self.network.power_vector(list(maps)) + ambient_q for maps in sets],
-            axis=1,
-        )
+        q = _rhs_matrix(self.network, self.stack.ambient, sets)
         t = self._lu.solve(q)
-        return [
-            ThermalResult(die_maps=self._split(t[:, i]), nodal=t[:, i].copy())
-            for i in range(t.shape[1])
-        ]
+        return _results_from_columns(self.stack, t)
+
+
+# Woodbury-vs-refactorize crossover, measured by
+# tools/measure_woodbury_crossover.py on the reference container over the
+# real assembled networks (16x16 .. 64x64 grids): the rank at which the
+# batched Z = G⁻¹·U back-substitution costs as much as a fresh
+# factorization follows the power law below.  Re-run the tool and update
+# these two coefficients when the solver stack or hardware changes;
+# REPRO_WOODBURY_CROSSOVER overrides the whole model with a fixed rank.
+_CROSSOVER_COEFFICIENT = 3.39
+_CROSSOVER_EXPONENT = 0.421
+#: fraction of the measured break-even rank at which we still prefer the
+#: low-rank path; below 1.0 so a borderline candidate never loses
+_CROSSOVER_SAFETY = 0.75
+
+
+def woodbury_crossover_rank(num_nodes: int) -> int:
+    """Largest update rank worth solving via Woodbury at this network size.
+
+    The measured break-even point (see the module constants above) times
+    a safety factor.  ``REPRO_WOODBURY_CROSSOVER`` pins an explicit rank
+    instead, for experiments and for machines with very different
+    factorization/back-substitution cost ratios.
+    """
+    raw = os.environ.get("REPRO_WOODBURY_CROSSOVER")
+    if raw is not None:
+        try:
+            return int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WOODBURY_CROSSOVER must be an integer, got {raw!r}"
+            )
+    breakeven = _CROSSOVER_COEFFICIENT * float(num_nodes) ** _CROSSOVER_EXPONENT
+    return max(1, int(_CROSSOVER_SAFETY * breakeven))
+
+
+class WoodburySolver:
+    """Steady-state solver for a locally perturbed stack, sans refactorization.
+
+    Given a factorized ``base`` solver for conductance ``G`` and a stack
+    whose conductance is ``G' = G + U·C·Uᵀ`` (a dummy-TSV candidate: the
+    update touches only the pierced bond/bulk cells, their lateral
+    neighbours, and the package-path boundary nodes), solves ``G' T = q``
+    via the Sherman–Morrison–Woodbury identity::
+
+        G'⁻¹ q = x₀ − Z · (I + C·W)⁻¹ · C · x₀[S]
+
+    with ``x₀ = G⁻¹ q``, ``Z = G⁻¹·U`` (one *batched* multi-RHS
+    back-substitution, like :meth:`SteadyStateSolver.solve_many`), and
+    ``W = Z[S]`` the r×r core.  Setup costs ``rank`` back-substitutions
+    plus one dense r×r factorization; every solve after that costs one
+    base back-substitution plus dense corrections — no factorization of
+    ``G'`` ever happens on this path.
+
+    Two guards fall back to a plain full factorization (the behaviour is
+    then bit-identical to a fresh :class:`SteadyStateSolver`):
+
+    * ``rank > crossover_rank`` — the batched Z solve would cost more
+      than refactorizing; the default crossover is *measured*, not
+      guessed (:func:`woodbury_crossover_rank`);
+    * the probe residual check fails — one deterministic RHS is solved
+      through the Woodbury path and verified against ``G'`` directly, so
+      an ill-conditioned core (a nearly singular ``I + C·W``) is caught
+      by its symptom rather than by a condition-number heuristic.
+
+    ``fallback_reason`` records which guard fired (``None`` on the
+    low-rank path); the interface mirrors :class:`SteadyStateSolver`, so
+    callers treat both interchangeably.
+    """
+
+    def __init__(
+        self,
+        base: SteadyStateSolver,
+        stack: ThermalStack,
+        *,
+        network: ThermalNetwork | None = None,
+        update: LowRankUpdate | None = None,
+        crossover_rank: Optional[int] = None,
+        residual_tol: float = 1e-8,
+        probe: bool = True,
+    ) -> None:
+        # a Woodbury base would compound correction cost per solve (and
+        # per chained round); unwrap to the nearest true factorization —
+        # the update below is recomputed against *that* network, so
+        # correctness is unaffected
+        while isinstance(base, WoodburySolver):
+            base = base._full if base._full is not None else base.base
+        self.base = base
+        self.stack = stack
+        self.network: ThermalNetwork = (
+            network if network is not None else assemble(stack)
+        )
+        self.update = (
+            update
+            if update is not None
+            else low_rank_update(base.network, self.network)
+        )
+        self.residual_tol = residual_tol
+        self.fallback_reason: Optional[str] = None
+        self._full: Optional[SteadyStateSolver] = None
+        self._z: Optional[np.ndarray] = None
+        self._core_lu = None
+
+        if crossover_rank is None:
+            crossover_rank = woodbury_crossover_rank(self.network.num_nodes)
+            if isinstance(base._lu, _PersistedLU):
+                # the crossover was measured against native SuperLU
+                # back-substitution; persisted factors solve each RHS
+                # ~15x slower (see ROADMAP), so the rank-r Z setup
+                # breaks even that much earlier
+                crossover_rank = max(1, crossover_rank // _PERSISTED_LU_RHS_PENALTY)
+        self.crossover_rank = crossover_rank
+
+        rank = self.update.rank
+        if rank == 0:
+            return  # identical network; base solves are already exact
+        if rank > crossover_rank:
+            self._fall_back("rank")
+            return
+        indices = self.update.indices
+        selection = np.zeros((self.network.num_nodes, rank))
+        selection[indices, np.arange(rank)] = 1.0
+        z = self.base._lu.solve(selection)
+        core_system = np.eye(rank) + self.update.core @ z[indices, :]
+        try:
+            core_lu = scipy.linalg.lu_factor(core_system)
+        except scipy.linalg.LinAlgError:
+            self._fall_back("singular-core")
+            return
+        self._z = z
+        self._core_lu = core_lu
+        if probe and not self._probe_ok():
+            self._z = None
+            self._core_lu = None
+            self._fall_back("residual")
+
+    def _fall_back(self, reason: str) -> None:
+        self.fallback_reason = reason
+        self._full = SteadyStateSolver(self.stack, network=self.network)
+
+    @property
+    def is_low_rank(self) -> bool:
+        """Whether solves go through the base LU (vs the fallback's own)."""
+        return self._full is None
+
+    def rebase(self) -> SteadyStateSolver:
+        """The cheapest exact full solver for *this* stack.
+
+        The fallback already factorized one; otherwise this is the point
+        where a caller deliberately pays the refactorization — the
+        mitigation loop re-baselines here once committed insertions have
+        accumulated past the crossover.
+        """
+        if self._full is None:
+            self._full = SteadyStateSolver(self.stack, network=self.network)
+        # solves route through the full factorization from here on; the
+        # dense Z block (N x rank) and core factors are dead weight
+        self._z = None
+        self._core_lu = None
+        return self._full
+
+    def _probe_ok(self) -> bool:
+        """Solve one deterministic RHS and check the true G' residual."""
+        probe_q = self.network.boundary * self.stack.ambient + 1.0
+        x = self._apply(probe_q[:, None])[:, 0]
+        residual = self.network.conductance @ x - probe_q
+        denom = float(np.abs(probe_q).max())
+        return float(np.abs(residual).max()) <= self.residual_tol * max(denom, 1.0)
+
+    def _apply(self, q: np.ndarray) -> np.ndarray:
+        """Woodbury-corrected ``G'⁻¹ q`` for an (N, k) RHS block."""
+        x0 = self.base._lu.solve(q)
+        if self._z is None:
+            return x0  # rank-0 update
+        y = scipy.linalg.lu_solve(
+            self._core_lu, self.update.core @ x0[self.update.indices]
+        )
+        return x0 - self._z @ y
+
+    def solve(self, power_maps: Sequence[np.ndarray]) -> ThermalResult:
+        """Solve the perturbed stack for the given per-die power maps."""
+        if self._full is not None:
+            return self._full.solve(power_maps)
+        q = _rhs_vector(self.network, self.stack.ambient, power_maps)
+        t = self._apply(q[:, None])[:, 0]
+        return ThermalResult(die_maps=_split_die_maps(self.stack, t), nodal=t)
+
+    def solve_many(
+        self, power_map_sets: Sequence[Sequence[np.ndarray]]
+    ) -> List[ThermalResult]:
+        """Batched counterpart of :meth:`solve` (one multi-RHS base solve)."""
+        if self._full is not None:
+            return self._full.solve_many(power_map_sets)
+        sets = list(power_map_sets)
+        if not sets:
+            return []
+        q = _rhs_matrix(self.network, self.stack.ambient, sets)
+        t = self._apply(q)
+        return _results_from_columns(self.stack, t)
+
+
+def _solves_through_persisted_factors(solver) -> bool:
+    """Whether this cache entry's solves route through persisted factors.
+
+    True for solvers rebuilt from disk (``_PersistedLU``) and for
+    low-rank Woodbury entries whose *base* is such a solver — both pay
+    the slow triangular-substitution path on every solve.  A fallen-back
+    Woodbury entry solves through its own native factorization and is
+    fine to keep.
+    """
+    if isinstance(getattr(solver, "_lu", None), _PersistedLU):
+        return True
+    if isinstance(solver, WoodburySolver) and solver.is_low_rank:
+        return isinstance(solver.base._lu, _PersistedLU)
+    return False
 
 
 def _digest_array(arr: np.ndarray) -> str:
@@ -280,7 +538,7 @@ class SolverCache:
         stale = [
             key
             for key, solver in self._entries.items()
-            if isinstance(solver._lu, _PersistedLU)
+            if _solves_through_persisted_factors(solver)
         ]
         for key in stale:
             del self._entries[key]
@@ -313,7 +571,100 @@ class SolverCache:
         tsv_density=None,
         **stack_kwargs,
     ) -> SteadyStateSolver:
-        """The cached (or freshly built) solver for this exact network."""
+        """The cached (or freshly built) *full* solver for this exact network.
+
+        A cached incremental entry (:class:`WoodburySolver`) is upgraded
+        to its own factorization before being returned: callers of this
+        method — verification, oracle paths, attack models — rely on a
+        solve that is independent of any base LU, so handing them a
+        Woodbury entry would quietly defeat e.g. an incremental-vs-full
+        cross-check.  The upgrade replaces the cache entry, so it is
+        paid at most once per network.
+        """
+        densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
+        key = self._key(stack_cfg, grid, densities, stack_kwargs)
+        solver = self._entries.get(key)
+        if solver is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            if isinstance(solver, WoodburySolver):
+                if self.disk_dir is None:
+                    solver = solver.rebase()
+                else:
+                    # go through the disk layer like a cache miss would,
+                    # so the factorization is persisted (or loaded) and
+                    # the shared cache does not depend on request order
+                    solver = self._full_solver(
+                        key, solver.stack, network=solver.network
+                    )
+                self._entries[key] = solver
+            return solver
+        self.misses += 1
+        stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
+        solver = self._full_solver(key, stack)
+        self._entries[key] = solver
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return solver
+
+    def _full_solver(
+        self,
+        key: tuple,
+        stack: ThermalStack,
+        network: ThermalNetwork | None = None,
+    ) -> SteadyStateSolver:
+        """A full solver for this stack, through the disk layer if enabled."""
+        if self.disk_dir is None:
+            return SteadyStateSolver(stack, network=network)
+        self.disk_dir.mkdir(parents=True, exist_ok=True)
+        path = self.disk_dir / f"lu-{self._digest_key(key)}.npz"
+        loaded = _load_lu(path)
+        if loaded is not None:
+            lu, stored_digest = loaded
+            candidate = SteadyStateSolver(stack, lu=lu, network=network)
+            if _conductance_digest(candidate.network.conductance) == stored_digest:
+                self.disk_hits += 1
+                return candidate
+            # factors of an older network revision: drop them so the
+            # fresh factorization below can re-persist
+            path.unlink(missing_ok=True)
+        elif path.exists():
+            # unreadable (torn/foreign) file: heal it, or the
+            # existing-file check would block re-persisting forever
+            path.unlink(missing_ok=True)
+        solver = SteadyStateSolver(stack, reconstructable=True, network=network)
+        _save_lu(path, solver._lu, _conductance_digest(solver.network.conductance))
+        return solver
+
+    def solver_for_floorplan(
+        self, floorplan: Floorplan3D, grid: GridSpec, **stack_kwargs
+    ) -> SteadyStateSolver:
+        """Solver for a floorplan's stack and *all* its TSV interfaces."""
+        densities = floorplan.tsv_densities(grid)
+        return self.solver(floorplan.stack, grid, densities, **stack_kwargs)
+
+    def incremental_solver(
+        self,
+        stack_cfg: StackConfig,
+        grid: GridSpec,
+        tsv_density=None,
+        *,
+        base: SteadyStateSolver,
+        crossover_rank: Optional[int] = None,
+        **stack_kwargs,
+    ) -> "SteadyStateSolver | WoodburySolver":
+        """A solver for this network that rides ``base``'s factorization.
+
+        The cached entry is a :class:`WoodburySolver` over ``base`` when
+        the network differs from ``base``'s by a low-rank (localized TSV)
+        update, and ``base``'s own kind of full solver when the update
+        rank exceeds the crossover or the probe rejects the core — the
+        caller never has to know which.  Entries share the cache key
+        space with :meth:`solver`, so a later full-solver request for the
+        same network reuses whatever is already here.  Incremental
+        entries are never persisted to ``disk_dir`` (they carry no
+        factorization of their own).
+        """
         densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
         key = self._key(stack_cfg, grid, densities, stack_kwargs)
         solver = self._entries.get(key)
@@ -323,44 +674,31 @@ class SolverCache:
             return solver
         self.misses += 1
         stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
-        solver = None
-        if self.disk_dir is not None:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-            path = self.disk_dir / f"lu-{self._digest_key(key)}.npz"
-            loaded = _load_lu(path)
-            if loaded is not None:
-                lu, stored_digest = loaded
-                candidate = SteadyStateSolver(stack, lu=lu)
-                if _conductance_digest(candidate.network.conductance) == stored_digest:
-                    self.disk_hits += 1
-                    solver = candidate
-                else:
-                    # factors of an older network revision: drop them so
-                    # the fresh factorization below can re-persist
-                    path.unlink(missing_ok=True)
-            elif path.exists():
-                # unreadable (torn/foreign) file: heal it, or the
-                # existing-file check would block re-persisting forever
-                path.unlink(missing_ok=True)
-        if solver is None:
-            solver = SteadyStateSolver(stack, reconstructable=self.disk_dir is not None)
-            if self.disk_dir is not None:
-                _save_lu(
-                    path,
-                    solver._lu,
-                    _conductance_digest(solver.network.conductance),
-                )
+        solver = WoodburySolver(base, stack, crossover_rank=crossover_rank)
         self._entries[key] = solver
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return solver
 
-    def solver_for_floorplan(
-        self, floorplan: Floorplan3D, grid: GridSpec, **stack_kwargs
-    ) -> SteadyStateSolver:
-        """Solver for a floorplan's stack and *all* its TSV interfaces."""
+    def incremental_solver_for_floorplan(
+        self,
+        floorplan: Floorplan3D,
+        grid: GridSpec,
+        *,
+        base: SteadyStateSolver,
+        crossover_rank: Optional[int] = None,
+        **stack_kwargs,
+    ) -> "SteadyStateSolver | WoodburySolver":
+        """Incremental solver for a floorplan (all TSV interfaces)."""
         densities = floorplan.tsv_densities(grid)
-        return self.solver(floorplan.stack, grid, densities, **stack_kwargs)
+        return self.incremental_solver(
+            floorplan.stack,
+            grid,
+            densities,
+            base=base,
+            crossover_rank=crossover_rank,
+            **stack_kwargs,
+        )
 
 
 _DEFAULT_CACHE = SolverCache(maxsize=8)

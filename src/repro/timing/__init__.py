@@ -1,4 +1,8 @@
-"""Timing substrate: Elmore net delays, module delays, DAG path analysis."""
+"""Timing substrate (the paper Sec. 6 / Table 2 delay constraints).
+
+Elmore net delays (TSV hops included), voltage-scaled module delays,
+and the DAG path analysis behind Table 2's critical-delay column.
+"""
 
 from .delay_model import K_DELAY_NS_PER_UM, ensure_intrinsic_delays, module_delay_ns
 from .elmore import DEFAULT_TECH, WireTechnology, net_delay_ns

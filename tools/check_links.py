@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Cheap regex checker for intra-repo links in Markdown files.
+
+Finds every ``[text](target)`` in the given files and fails when a
+relative target does not exist on disk (resolved against the file that
+references it, fragments stripped).  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are ignored — this is
+a repo-consistency gate, not a web crawler.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Run by the CI ``docs`` job so a renamed file or doc can't silently
+orphan the references pointing at it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — target captured up to the first ')' or whitespace
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(md_file: Path) -> list:
+    """(target, resolved path) pairs in ``md_file`` that don't exist."""
+    broken = []
+    text = md_file.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md_file.parent / path).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", type=Path,
+                        help="Markdown files to check")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    checked = 0
+    for md_file in args.files:
+        if not md_file.exists():
+            print(f"ERROR: no such file: {md_file}")
+            failures += 1
+            continue
+        checked += 1
+        for target, resolved in broken_links(md_file):
+            print(f"BROKEN  {md_file}: ({target}) -> {resolved}")
+            failures += 1
+    if failures:
+        print(f"\nFAIL: {failures} broken intra-repo link(s)")
+        return 1
+    print(f"link check passed ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
