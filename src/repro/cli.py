@@ -183,18 +183,26 @@ def _cmd_work(args: argparse.Namespace) -> int:
     workers = args.workers
     if workers < 1:
         raise SystemExit("error: --workers must be >= 1")
-    queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    if args.max_attempts < 1:
+        raise SystemExit("error: --max-attempts must be >= 1")
+    queue = WorkQueue(
+        args.queue_dir, lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts, retry_backoff=args.backoff,
+        max_steals=args.max_attempts if args.max_attempts > 1 else None,
+    )
     status = queue.status()
     if status.total == 0:
         print(f"queue {args.queue_dir} is empty; enqueue jobs first")
         return 1
     print(f"draining {args.queue_dir}: {status.pending} pending of "
           f"{status.total} jobs on {workers} worker(s) "
-          f"(lease ttl {args.lease_ttl:.0f}s)")
+          f"(lease ttl {args.lease_ttl:.0f}s, "
+          f"{args.max_attempts} attempt(s)/job)")
     if workers == 1:
         done = batch_worker_main(
             str(args.queue_dir), args.lease_ttl, args.cache_dir,
             max_jobs=args.max_jobs,
+            max_attempts=args.max_attempts, retry_backoff=args.backoff,
         )
     else:
         done = 0
@@ -203,6 +211,8 @@ def _cmd_work(args: argparse.Namespace) -> int:
                 pool.submit(
                     batch_worker_main, str(args.queue_dir), args.lease_ttl,
                     args.cache_dir, None, args.max_jobs,
+                    max_attempts=args.max_attempts,
+                    retry_backoff=args.backoff,
                 )
                 for _ in range(workers)
             ]
@@ -219,9 +229,29 @@ def _cmd_work(args: argparse.Namespace) -> int:
 
 def _print_failures(status) -> None:
     for key, record in status.failures.items():
+        if key in status.quarantined:
+            continue  # reported with its quarantine record below
         error = str(record.get("error", "")).strip().splitlines()
         last = error[-1] if error else "unknown error"
-        print(f"  FAILED {key} on {record.get('worker', '?')}: {last}")
+        attempt = record.get("attempt", 1)
+        print(f"  FAILED {key} on {record.get('worker', '?')} "
+              f"(attempt {attempt}): {last}")
+    for key, record in status.quarantined.items():
+        print(f"  QUARANTINED {key} after {record.get('attempts', '?')} "
+              f"attempt(s): {record.get('reason', 'unknown')} "
+              f"[clear with enqueue --retry-failed]")
+
+
+def _print_degradations(store) -> None:
+    """Aggregate FlowMetrics.degradations over the merged store."""
+    totals: dict = {}
+    for metrics in store.completed().values():
+        for kind, count in getattr(metrics, "degradations", {}).items():
+            totals[kind] = totals.get(kind, 0) + count
+    if totals:
+        print("  degradations survived (fallbacks taken across all jobs):")
+        for kind in sorted(totals):
+            print(f"    {kind:<40} {totals[kind]}")
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
@@ -234,7 +264,9 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
     status = queue.status()
     print(f"queue {args.queue_dir}: {status.total} jobs")
     print(f"  completed {status.completed}  in-flight {status.claimed}  "
-          f"failed {status.failed}  pending {status.pending}")
+          f"failed {status.failed} "
+          f"(quarantined {len(status.quarantined)})  "
+          f"pending {status.pending}")
     for entry in status.active:
         print(f"  RUNNING {entry['key']} on {entry['worker']} "
               f"(heartbeat {entry['age_s']:.0f}s ago)")
@@ -243,6 +275,7 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
               f"(lease expired {entry['age_s'] - queue.lease_ttl:.0f}s ago; "
               "will be reclaimed)")
     _print_failures(status)
+    _print_degradations(queue.store)
     return 0
 
 
@@ -350,6 +383,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shared on-disk solver/model cache")
     p_work.add_argument("--max-jobs", type=int, default=None,
                         help="cap on jobs per worker (default: drain)")
+    p_work.add_argument("--max-attempts", type=int, default=3,
+                        help="per-job execution attempts before the job is "
+                             "quarantined (1 = failures are terminal); also "
+                             "bounds lease steals for crash-looping jobs")
+    p_work.add_argument("--backoff", type=float, default=1.0,
+                        help="base seconds of exponential retry backoff "
+                             "(doubles per attempt, plus jitter)")
     p_work.set_defaults(func=_cmd_work)
 
     p_stat = sub.add_parser(

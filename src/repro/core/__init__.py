@@ -7,12 +7,28 @@ repo's sweep frontends.
 """
 
 from .config import FlowConfig, env_int
+from .faults import (
+    DegradationWarning,
+    FaultPlan,
+    InjectedFault,
+    TornWriteFault,
+    injected,
+    install_plan,
+    clear_plan,
+)
 from .flow import FlowOutcome, run_flow, verify_correlations
 from .results import FlowMetrics, aggregate_metrics, format_table
 
 __all__ = [
     "FlowConfig",
     "env_int",
+    "DegradationWarning",
+    "FaultPlan",
+    "InjectedFault",
+    "TornWriteFault",
+    "injected",
+    "install_plan",
+    "clear_plan",
     "FlowOutcome",
     "run_flow",
     "verify_correlations",

@@ -37,6 +37,7 @@ from ..power.assignment import AssignmentObjective, assign_voltages
 from ..thermal.steady_state import SolverCache, default_solver_cache
 from ..timing.paths import TimingGraph
 from .config import FlowConfig
+from .faults import degradations_since, snapshot_degradations
 from .results import FlowMetrics
 
 __all__ = ["FlowOutcome", "run_flow", "verify_correlations"]
@@ -85,6 +86,7 @@ def run_flow(
     """Floorplan ``circuit`` per the configured setup and verify leakage."""
     config = config or FlowConfig()
     t_start = time.perf_counter()
+    deg_mark = snapshot_degradations()
 
     result = anneal(
         circuit.modules,
@@ -140,6 +142,7 @@ def run_flow(
         voltage_volumes=assignment.num_volumes,
         runtime_s=runtime,
         feasible=result.feasible,
+        degradations=degradations_since(deg_mark),
     )
     return FlowOutcome(
         metrics=metrics,

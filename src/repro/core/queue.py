@@ -11,49 +11,74 @@ sockets, no server to keep alive.
 Layout under the queue root::
 
     jobs/<digest>.json       one spec per job: {"key", "payload"}
+    manifest.jsonl           append-only job index ({"key"} per line) so
+                             claim polling stops rescanning jobs/
     leases/<digest>.lease    exclusive claim; mtime is the heartbeat
+    fences/<digest>.json     per-key fencing token: {"epoch", "steals"}
     shards/<worker>.jsonl    per-worker ResultsStore shard (append-only)
     failures/<digest>.json   last recorded execution failure per job
+    quarantine/<digest>.json poison jobs taken out of circulation
     results.jsonl            merged store (see :meth:`WorkQueue.merge`)
     merge.lock               serializes concurrent merges
 
 Coordination rules:
 
 * **Claim** — a lease file created with ``O_CREAT | O_EXCL``; exactly one
-  worker wins.  Workers heartbeat by refreshing the lease mtime while the
-  job runs.
+  worker wins.  Every claim bumps the job's **fencing epoch** (a
+  monotonic per-key counter in ``fences/``) and embeds it in the lease
+  and, at completion, in the shard record.  Workers heartbeat by
+  refreshing the lease mtime while the job runs.
 * **Reclaim** — a lease whose mtime is older than ``lease_ttl`` belongs
   to a dead worker.  Stealing it goes through an atomic ``rename`` to a
   unique tombstone, so of N workers that notice the same expired lease,
-  exactly one reclaims the job.
+  exactly one reclaims the job — at a *higher* epoch.  A zombie worker
+  that was merely stalled (NFS clock skew, a long GC pause) can still
+  finish and append its result, but that record carries the fenced-out
+  epoch and :meth:`merge` discards it: reclamation can never produce a
+  double-commit with diverging survivors.
+* **Retry** — an execution failure consumes one unit of the job's
+  ``max_attempts`` budget; while budget remains, the job becomes
+  claimable again after an exponential backoff (base ``retry_backoff``,
+  deterministic per-key jitter).  A job that exhausts its budget — or
+  whose lease had to be stolen more than ``max_steals`` times, i.e. it
+  keeps *killing* workers before they can even record a failure — lands
+  in ``quarantine/`` exactly once and is never claimed again until
+  :meth:`clear_failure` opts it back in.
 * **Completion** — the result is appended to the *claiming worker's own*
   shard before the lease drops, so no two processes ever append to one
-  JSONL file concurrently.  A job counts as done when its key appears in
-  any shard or the merged store; duplicate completions (a lease expired
-  under a live-but-slow worker) are collapsed by key-level dedup in
-  :meth:`~repro.core.store.ResultsStore.merge_shards`.
+  JSONL file concurrently.  A job counts as done when its key appears,
+  at a live epoch, in any shard or the merged store.
 
 Timestamps compare a worker's local clock against shared-filesystem
 mtimes, so ``lease_ttl`` must comfortably exceed cross-host clock skew
-plus the heartbeat interval; the CLI default (300 s) is conservative.
+plus the heartbeat interval; the CLI default (300 s) is conservative,
+and the fencing epochs make even a mis-sized TTL safe (just slower).
+Queue I/O routes through :func:`~repro.core.faults.retry_io` (transient
+fs errors cost a bounded retry) and is instrumented with fault-injection
+sites (``queue.job``, ``queue.manifest``, ``queue.lease``,
+``queue.fence``, ``queue.complete``) for the chaos suite.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import socket
 import threading
-import time
 import traceback
+import time
 import uuid
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
+from . import faults
+from .faults import fault_point, retry_io
 from .results import FlowMetrics
-from .store import ResultsStore, artifact_digest, persist_atomic
+from .store import ResultsStore, artifact_digest
 
 __all__ = ["Lease", "QueueStatus", "WorkQueue", "run_worker", "worker_name"]
 
@@ -61,12 +86,30 @@ __all__ = ["Lease", "QueueStatus", "WorkQueue", "run_worker", "worker_name"]
 Executor = Callable[[dict], FlowMetrics]
 
 #: bump when job/lease/failure record layouts change
-_SCHEMA = 1
+_SCHEMA = 2
+
+#: recorded error strings are capped so quarantine triage stays greppable
+#: (a stack of recursive-flow tracebacks once weighed in at megabytes)
+_MAX_ERROR_CHARS = 4000
 
 
 def worker_name() -> str:
     """Default worker identity: unique per process across pool hosts."""
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _iso(ts: float) -> str:
+    return datetime.fromtimestamp(ts, timezone.utc).isoformat(timespec="seconds")
+
+
+def _truncate_error(error: str) -> str:
+    """Bound an error string, keeping the head and the (most useful) tail."""
+    error = str(error)
+    if len(error) <= _MAX_ERROR_CHARS:
+        return error
+    head = error[: _MAX_ERROR_CHARS // 4]
+    tail = error[-(_MAX_ERROR_CHARS - len(head) - 32) :]
+    return f"{head}\n... [{len(error)} chars truncated] ...\n{tail}"
 
 
 @dataclass
@@ -76,13 +119,16 @@ class Lease:
     key: str
     payload: dict
     path: Path
+    #: fencing token: the epoch this claim runs at (0 = legacy/unknown)
+    epoch: int = 0
+    worker: str = ""
 
     def heartbeat(self) -> None:
         """Refresh the lease mtime so other workers see this job live.
 
         A missing lease (stolen after an expiry this worker caused by
         stalling) is not an error: the job may then run twice, and the
-        shard merge dedups the second completion.
+        fenced shard merge discards the stale completion.
         """
         try:
             os.utime(self.path)
@@ -90,6 +136,24 @@ class Lease:
             pass
 
     def release(self) -> None:
+        """Drop the claim — unless the lease now belongs to a newer epoch.
+
+        After a reclamation, the lease *path* is the same file but the
+        record inside carries the stealer's epoch; a zombie releasing
+        blindly would unlink the stealer's live claim and invite a third
+        execution.  Best-effort (read-then-unlink is not atomic), but it
+        closes the common window.
+        """
+        try:
+            record = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            record = None
+        if (
+            record is not None
+            and self.epoch
+            and record.get("epoch") not in (None, self.epoch)
+        ):
+            return  # fenced out: someone else holds this lease now
         try:
             self.path.unlink()
         except OSError:
@@ -109,8 +173,10 @@ class QueueStatus:
     active: List[Dict[str, object]]
     #: expired leases not yet reclaimed (crashed workers)
     stale: List[Dict[str, object]]
-    #: per-job failure records keyed by job key
+    #: per-job failure records keyed by job key (unresolved jobs only)
     failures: Dict[str, Dict[str, object]]
+    #: poison jobs taken out of circulation, keyed by job key
+    quarantined: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 class WorkQueue:
@@ -119,25 +185,58 @@ class WorkQueue:
     Safe for any number of concurrent readers and claimers; the only
     single-writer file is each worker's own shard.  ``lease_ttl`` is the
     seconds of missed heartbeats after which a claim counts as dead.
+
+    ``max_attempts`` is the per-job execution-failure budget: 1 (the
+    default, the pre-retry behaviour) records the first failure as
+    terminal; higher values re-claim the job after an exponential
+    backoff of ``retry_backoff * 2**(attempt-1)`` seconds plus a
+    deterministic per-key jitter.  ``max_steals`` bounds how many times
+    an expired lease may be stolen before the job is presumed to *kill*
+    its workers and is quarantined (``None`` = unlimited, matching the
+    original reclaim-forever behaviour).
     """
 
-    def __init__(self, root: str | Path, lease_ttl: float = 300.0) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        lease_ttl: float = 300.0,
+        max_attempts: int = 1,
+        retry_backoff: float = 1.0,
+        max_steals: Optional[int] = None,
+    ) -> None:
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if max_steals is not None and max_steals < 1:
+            raise ValueError("max_steals must be >= 1 (or None for unlimited)")
         self.root = Path(root)
         self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.retry_backoff = float(retry_backoff)
+        self.max_steals = max_steals
         self.jobs_dir = self.root / "jobs"
         self.leases_dir = self.root / "leases"
         self.shards_dir = self.root / "shards"
         self.failures_dir = self.root / "failures"
+        self.fences_dir = self.root / "fences"
+        self.quarantine_dir = self.root / "quarantine"
+        self.manifest_path = self.root / "manifest.jsonl"
         for directory in (
-            self.jobs_dir, self.leases_dir, self.shards_dir, self.failures_dir
+            self.jobs_dir, self.leases_dir, self.shards_dir,
+            self.failures_dir, self.fences_dir, self.quarantine_dir,
         ):
             directory.mkdir(parents=True, exist_ok=True)
         #: consolidated results (populated by :meth:`merge`)
         self.store = ResultsStore(self.root)
         #: shard stores memoized per filename (each memoizes by file stamp)
         self._shards: Dict[str, ResultsStore] = {}
+        #: manifest index memoized against (manifest stamp, jobs-dir mtime)
+        self._manifest_cache: Optional[Tuple[tuple, List[str]]] = None
+        #: fencing epochs memoized against the fences-dir mtime
+        self._fence_cache: Optional[Tuple[int, Dict[str, int]]] = None
 
     # -- job intake ------------------------------------------------------------
 
@@ -156,17 +255,114 @@ class WorkQueue:
         if path.exists():
             return False
         record = {"schema": _SCHEMA, "key": key, "payload": payload}
+        data = json.dumps(record, sort_keys=True)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
 
-        def write(tmp: Path) -> Path:
-            tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
-            return tmp
+        def write() -> None:
+            fault_point("queue.job")
+            tmp.write_text(data, encoding="utf-8")
+            os.replace(tmp, path)  # racing enqueuers of one key tolerated
 
-        # atomic create; concurrent enqueuers of the same key are tolerated
-        persist_atomic(path, write)
+        try:
+            retry_io(write, site="queue.job")
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        self._manifest_append(key)
         return True
 
+    def _manifest_append(self, key: str) -> None:
+        """Index one job in the manifest (job files stay authoritative).
+
+        A manifest line that never lands (crash or persistent fs error
+        between the job write and this append) is healed by the next
+        :meth:`_manifest_index` call noticing jobs/ is newer than the
+        manifest and re-scanning once.
+        """
+        line = (json.dumps({"key": key}, sort_keys=True) + "\n").encode("utf-8")
+
+        def write() -> None:
+            fault_point("queue.manifest")
+            fd = os.open(self.manifest_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+
+        try:
+            retry_io(write, site="queue.manifest")
+        except OSError:
+            faults.record_degradation("queue.manifest_append_failed")
+
+    def _manifest_entries(self) -> List[str]:
+        """Manifest keys in enqueue order (deduped, torn lines skipped)."""
+        seen: Dict[str, None] = {}
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        seen.setdefault(str(record["key"]))
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn concurrent append
+        except OSError:
+            pass
+        return list(seen)
+
+    def _manifest_index(self) -> List[str]:
+        """Every queued job key, in enqueue order, without rescanning jobs/.
+
+        The manifest is the O(1)-stat fast path; a jobs/ directory newer
+        than the manifest (a crash between job write and index append, a
+        pre-manifest queue dir, a foreign writer) triggers one repair
+        scan that appends the missing keys — after which polling is back
+        to a stat and a memoized parse.
+        """
+        try:
+            m_st = self.manifest_path.stat()
+            m_stamp: Optional[Tuple[int, int]] = (m_st.st_mtime_ns, m_st.st_size)
+            m_mtime = m_st.st_mtime_ns
+        except OSError:
+            m_stamp, m_mtime = None, -1
+        try:
+            d_mtime = self.jobs_dir.stat().st_mtime_ns
+        except OSError:
+            d_mtime = -1
+        stamp = (m_stamp, d_mtime)
+        if self._manifest_cache is not None and self._manifest_cache[0] == stamp:
+            return self._manifest_cache[1]
+        keys = self._manifest_entries()
+        if d_mtime > m_mtime:
+            indexed = set(keys)
+            missing = [
+                key for key in self.jobs() if key not in indexed
+            ]
+            for key in missing:
+                self._manifest_append(key)
+            keys.extend(missing)
+            if not missing and m_stamp is None and not keys:
+                # empty queue: nothing to index, nothing to memoize against
+                self._manifest_cache = (stamp, [])
+                return []
+            try:
+                st = self.manifest_path.stat()
+                stamp = ((st.st_mtime_ns, st.st_size), d_mtime)
+            except OSError:
+                pass
+        self._manifest_cache = (stamp, keys)
+        return keys
+
     def jobs(self) -> Dict[str, dict]:
-        """All queued job payloads keyed by job key (enqueue order lost)."""
+        """All queued job payloads keyed by job key (full jobs/ scan).
+
+        Inspection-path helper (status, repairs); the claim loop uses
+        the manifest index plus per-key payload reads instead.
+        """
         out: Dict[str, dict] = {}
         for path in sorted(self.jobs_dir.glob("*.json")):
             record = self._read_json(path)
@@ -178,6 +374,14 @@ class WorkQueue:
                 continue
         return out
 
+    def job_payload(self, key: str) -> Optional[dict]:
+        """The payload of one queued job, or None when absent/torn."""
+        record = self._read_json(self.jobs_dir / f"{self._digest(key)}.json")
+        if record is None or record.get("schema", 0) > _SCHEMA:
+            return None
+        payload = record.get("payload")
+        return payload if isinstance(payload, dict) else None
+
     @staticmethod
     def _read_json(path: Path) -> Optional[dict]:
         try:
@@ -186,6 +390,59 @@ class WorkQueue:
             # torn concurrent write or vanished file; callers skip it
             return None
         return loaded if isinstance(loaded, dict) else None
+
+    # -- fencing tokens --------------------------------------------------------
+
+    def _fence_path(self, key: str) -> Path:
+        return self.fences_dir / f"{self._digest(key)}.json"
+
+    def _read_fence(self, key: str) -> Dict[str, int]:
+        record = self._read_json(self._fence_path(key)) or {}
+        return {
+            "epoch": int(record.get("epoch", 0)),
+            "steals": int(record.get("steals", 0)),
+        }
+
+    def _write_fence(self, key: str, epoch: int, steals: int) -> None:
+        record = {
+            "schema": _SCHEMA, "key": key,
+            "epoch": int(epoch), "steals": int(steals),
+        }
+        path = self._fence_path(key)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+
+        def write() -> None:
+            fault_point("queue.fence")
+            tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+
+        try:
+            retry_io(write, site="queue.fence")
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def fence_epochs(self) -> Dict[str, int]:
+        """Current fencing epoch per job key (memoized by dir mtime).
+
+        A shard record whose epoch is *below* this is a zombie worker's
+        post-reclamation append and must not survive a merge.
+        """
+        try:
+            stamp = self.fences_dir.stat().st_mtime_ns
+        except OSError:
+            return {}
+        if self._fence_cache is not None and self._fence_cache[0] == stamp:
+            return self._fence_cache[1]
+        out: Dict[str, int] = {}
+        for path in self.fences_dir.glob("*.json"):
+            record = self._read_json(path)
+            if record and "key" in record:
+                out[str(record["key"])] = int(record.get("epoch", 0))
+        self._fence_cache = (stamp, out)
+        return out
 
     # -- completion state ------------------------------------------------------
 
@@ -205,11 +462,26 @@ class WorkQueue:
         return ResultsStore(self.shards_dir, filename=f"{worker_id}.jsonl")
 
     def completed(self) -> Dict[str, FlowMetrics]:
-        """Merged-store results unioned with every worker shard."""
-        out = dict(self.store.completed())
+        """Merged-store results unioned with every worker shard.
+
+        Fence-filtered: a record carrying an epoch older than the key's
+        current fence was appended by a worker that had already lost its
+        lease — treating it as a completion would let a zombie mask a
+        job whose legitimate re-execution never finished.
+        """
+        fences = self.fence_epochs()
+
+        def live(key: str, epoch: Optional[int]) -> bool:
+            return epoch is None or epoch >= fences.get(key, 0)
+
+        out: Dict[str, FlowMetrics] = {}
+        for key, (metrics, epoch) in self.store.records().items():
+            if live(key, epoch):
+                out[key] = metrics
         for shard in self.shards():
-            for key, metrics in shard.completed().items():
-                out.setdefault(key, metrics)
+            for key, (metrics, epoch) in shard.records().items():
+                if key not in out and live(key, epoch):
+                    out[key] = metrics
         return out
 
     @contextmanager
@@ -228,7 +500,7 @@ class WorkQueue:
                 break
             except FileExistsError:
                 try:
-                    age = time.time() - path.stat().st_mtime
+                    age = faults.now() - path.stat().st_mtime
                 except OSError:
                     continue  # released under us; retry at once
                 if age > self.lease_ttl:
@@ -262,46 +534,127 @@ class WorkQueue:
         merge interrupted mid-append is healed by the next one.
         Concurrent callers (``work`` pools finishing on several hosts at
         once) serialize through an on-disk lock, so the merged file never
-        sees interleaved appends.
+        sees interleaved appends.  Shard records from fenced-out epochs
+        (zombie double-commits) are discarded.
         """
         target = store if store is not None else self.store
         with self._merge_lock():
-            target.merge_shards(self.shards())
+            target.merge_shards(self.shards(), fences=self.fence_epochs())
         return target
 
-    # -- failures --------------------------------------------------------------
+    # -- failures & quarantine -------------------------------------------------
 
     def _failure_path(self, key: str) -> Path:
         return self.failures_dir / f"{self._digest(key)}.json"
 
-    def record_failure(self, lease: Lease, error: str, worker_id: str) -> None:
-        """Persist a job failure and drop the claim.
+    def _quarantine_path(self, key: str) -> Path:
+        return self.quarantine_dir / f"{self._digest(key)}.json"
 
-        Failed jobs are not retried within a sweep (a deterministic flow
-        would fail identically on every worker); re-enqueueing after
-        :meth:`clear_failure` opts a job back in.
+    def _retry_jitter(self, key: str, attempt: int) -> float:
+        """Deterministic jitter fraction in [0, 1) (reproducible sweeps)."""
+        return int(artifact_digest("retry-jitter", key, attempt)[:8], 16) / float(16**8)
+
+    def record_failure(self, lease: Lease, error: str, worker_id: str) -> None:
+        """Persist a job failure, schedule (or exhaust) its retry budget,
+        and drop the claim.
+
+        The failure record carries a bounded ``error`` string plus
+        ``attempt``, ``worker``, and both epoch and ISO-8601 timestamps,
+        so quarantine triage greps cleanly.  While attempts remain below
+        ``max_attempts`` the record also carries ``next_retry_at`` —
+        :meth:`claim` re-offers the job only after that instant.  The
+        attempt that exhausts the budget moves the job to quarantine.
         """
+        prev = self._read_json(self._failure_path(lease.key)) or {}
+        attempt = int(prev.get("attempt", 0)) + 1
+        ts = faults.now()
         record = {
             "schema": _SCHEMA,
             "key": lease.key,
             "worker": worker_id,
-            "error": error,
-            "time": time.time(),
+            "attempt": attempt,
+            "error": _truncate_error(error),
+            "time": ts,
+            "iso": _iso(ts),
         }
+        if attempt < self.max_attempts:
+            delay = self.retry_backoff * (2.0 ** (attempt - 1))
+            record["next_retry_at"] = ts + delay * (
+                1.0 + 0.25 * self._retry_jitter(lease.key, attempt)
+            )
         path = self._failure_path(lease.key)
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        try:
+
+        def write() -> None:
+            fault_point("queue.failure")
             tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
             os.replace(tmp, path)  # last failure wins
+
+        try:
+            retry_io(write, site="queue.failure")
         except OSError:
-            pass
+            faults.record_degradation("queue.failure_record_lost")
+        if attempt >= self.max_attempts:
+            self._quarantine(
+                lease.key,
+                reason=f"execution failed {attempt}x (budget {self.max_attempts})",
+                attempts=attempt,
+                worker=worker_id,
+                error=record["error"],
+            )
         lease.release()
 
-    def clear_failure(self, key: str) -> None:
+    def _quarantine(
+        self, key: str, reason: str, attempts: int, worker: str, error: str = ""
+    ) -> bool:
+        """Take a poison job out of circulation — exactly once per key.
+
+        ``O_EXCL`` creation arbitrates racing writers; with
+        ``max_attempts=1`` (failures terminal, the default) the record
+        doubles as the terminal-failure marker.  Returns True when this
+        call created the record.
+        """
+        ts = faults.now()
+        record = {
+            "schema": _SCHEMA,
+            "key": key,
+            "reason": reason,
+            "attempts": int(attempts),
+            "worker": worker,
+            "error": _truncate_error(error),
+            "time": ts,
+            "iso": _iso(ts),
+        }
+        path = self._quarantine_path(key)
+
+        def write() -> bool:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            try:
+                os.write(fd, json.dumps(record, sort_keys=True).encode("utf-8"))
+            finally:
+                os.close(fd)
+            return True
+
         try:
-            self._failure_path(key).unlink()
+            return retry_io(write, site="queue.quarantine")
+        except FileExistsError:
+            return False  # already quarantined by another worker
         except OSError:
-            pass
+            faults.record_degradation("queue.quarantine_record_lost")
+            return False
+
+    def clear_failure(self, key: str) -> None:
+        """Opt a failed/quarantined job back in (fresh retry budget)."""
+        for path in (self._failure_path(key), self._quarantine_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        fence = self._read_fence(key)
+        if fence["steals"]:
+            # keep the epoch monotonic (fencing must never rewind), but
+            # forget the crash history so the job gets a fresh budget
+            self._write_fence(key, fence["epoch"], 0)
 
     def failures(self) -> Dict[str, Dict[str, object]]:
         """Recorded failures keyed by job key."""
@@ -312,20 +665,46 @@ class WorkQueue:
                 out[str(record["key"])] = record
         return out
 
+    def quarantined(self) -> Dict[str, Dict[str, object]]:
+        """Quarantined (poison) jobs keyed by job key."""
+        out: Dict[str, Dict[str, object]] = {}
+        for path in sorted(self.quarantine_dir.glob("*.json")):
+            record = self._read_json(path)
+            if record and "key" in record:
+                out[str(record["key"])] = record
+        return out
+
+    def _failure_blocks(self, record: Dict[str, object], now_ts: float) -> bool:
+        """Whether a failure record makes its job unclaimable right now."""
+        attempt = int(record.get("attempt", 1))
+        if attempt >= self.max_attempts:
+            return True  # budget exhausted: terminal
+        next_retry = record.get("next_retry_at")
+        return next_retry is not None and now_ts < float(next_retry)
+
+    def _failure_terminal(self, record: Dict[str, object]) -> bool:
+        return int(record.get("attempt", 1)) >= self.max_attempts
+
     # -- claiming --------------------------------------------------------------
 
     def _lease_path(self, key: str) -> Path:
         return self.leases_dir / f"{self._digest(key)}.lease"
 
     def _try_acquire(self, key: str, payload: dict, worker_id: str) -> Optional[Lease]:
-        """One O_EXCL claim attempt, reclaiming an expired lease if present."""
+        """One O_EXCL claim attempt, reclaiming an expired lease if present.
+
+        Every successful acquisition bumps the key's fencing epoch
+        *before* the lease record lands, so by the time this claim is
+        visible, any older claim is already fenced out of the merge.
+        """
         path = self._lease_path(key)
+        steal_bump = 0
         for _ in range(2):  # second pass runs after stealing a stale lease
             try:
                 fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
                 try:
-                    age = time.time() - path.stat().st_mtime
+                    age = faults.now() - path.stat().st_mtime
                 except OSError:
                     continue  # released under us; retry the create at once
                 if age <= self.lease_ttl:
@@ -341,18 +720,53 @@ class WorkQueue:
                     tomb.unlink()
                 except OSError:
                     pass
+                steal_bump = 1
+                fence = self._read_fence(key)
+                steals = fence["steals"] + 1
+                if self.max_steals is not None and steals > self.max_steals:
+                    # the job keeps killing claimants before they can even
+                    # record a failure: poison — quarantine, don't re-run
+                    self._write_fence(key, fence["epoch"], steals)
+                    self._quarantine(
+                        key,
+                        reason=(
+                            f"lease expired under {steals} successive workers "
+                            f"(max_steals {self.max_steals}); crash-looping job"
+                        ),
+                        attempts=steals,
+                        worker=worker_id,
+                    )
+                    return None
                 continue
+            # we hold the new lease file; fence out every older epoch first
+            fence = self._read_fence(key)
+            epoch = fence["epoch"] + 1
             record = {
                 "schema": _SCHEMA,
                 "key": key,
                 "worker": worker_id,
                 "host": socket.gethostname(),
                 "pid": os.getpid(),
-                "claimed_at": time.time(),
+                "epoch": epoch,
+                "claimed_at": faults.now(),
             }
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, sort_keys=True))
-            return Lease(key=key, payload=payload, path=path)
+            try:
+                self._write_fence(key, epoch, fence["steals"] + steal_bump)
+                fault_point("queue.lease")
+                os.write(fd, json.dumps(record, sort_keys=True).encode("utf-8"))
+            except BaseException:
+                # never leave a half-claimed lease behind: a lingering
+                # empty lease would block the job until TTL expiry
+                os.close(fd)
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                raise
+            os.close(fd)
+            return Lease(
+                key=key, payload=payload, path=path, epoch=epoch, worker=worker_id
+            )
         return None
 
     def claim(
@@ -360,8 +774,11 @@ class WorkQueue:
     ) -> Optional[Lease]:
         """Claim one runnable job, or None when nothing is claimable now.
 
-        Skips completed keys (any shard or the merged store), recorded
-        failures, and live leases; reclaims expired ones.  ``only_keys``
+        Scans the memoized manifest index (one stat per poll — not a
+        jobs/ directory walk), skipping completed keys (any shard or the
+        merged store, at a live epoch), quarantined keys, failures whose
+        retry budget is exhausted or whose backoff has not elapsed, and
+        live leases; expired leases are reclaimed.  ``only_keys``
         restricts the scan to a subset of job keys — how ``run_batch``
         keeps its workers off unrelated jobs sharing the queue
         directory.  ``None`` does not mean the sweep is finished — other
@@ -369,13 +786,23 @@ class WorkQueue:
         :func:`run_worker`).
         """
         done = set(self.completed())
-        failed = set(self.failures())
-        for key, payload in self.jobs().items():
+        failed = self.failures()
+        quarantined = set(self.quarantined())
+        now_ts = faults.now()
+        for key in self._manifest_index():
             if only_keys is not None and key not in only_keys:
                 continue
-            if key in done or key in failed:
+            if key in done or key in quarantined:
                 continue
-            lease = self._try_acquire(key, payload, worker_id)
+            failure = failed.get(key)
+            if failure is not None and self._failure_blocks(failure, now_ts):
+                continue
+            payload = self.job_payload(key)
+            if payload is None:
+                continue  # indexed but torn/missing job file
+            lease = retry_io(
+                lambda: self._try_acquire(key, payload, worker_id), site="queue.lease"
+            )
             if lease is None:
                 continue
             # the key may have completed between the scan and the claim
@@ -391,59 +818,108 @@ class WorkQueue:
     def complete(self, lease: Lease, metrics: FlowMetrics, worker_id: str) -> None:
         """Durably record a finished job, then drop the claim.
 
-        The shard append lands (fsynced) *before* the lease is released:
-        a crash in between leaves a completed job with a lease that
-        merely expires — never a released lease with a lost result.
+        The shard append — stamped with the claim's fencing epoch —
+        lands (fsynced) *before* the lease is released: a crash in
+        between leaves a completed job with a lease that merely expires —
+        never a released lease with a lost result.
         """
-        self.shard_for(worker_id).append(lease.key, metrics)
+        self.shard_for(worker_id).append(
+            lease.key, metrics, epoch=lease.epoch or None
+        )
+        fault_point("queue.complete")
         lease.release()
 
     # -- inspection ------------------------------------------------------------
 
+    def _reap_completed_lease(self, path: Path) -> bool:
+        """Unlink a stale lease whose job already completed (a worker
+        that crashed *between* shard append and release).  Uses the same
+        tombstone protocol as a steal, so concurrent reapers are safe."""
+        tomb = path.with_name(f"{path.name}.stale-{uuid.uuid4().hex}")
+        try:
+            os.rename(path, tomb)
+        except OSError:
+            return False
+        try:
+            tomb.unlink()
+        except OSError:
+            pass
+        return True
+
     def status(self) -> QueueStatus:
-        """Snapshot progress: totals, live/stale leases, failures."""
-        jobs = self.jobs()
+        """Snapshot progress: totals, live/stale leases, failures,
+        quarantine."""
+        jobs_keys = self._manifest_index()
         done = set(self.completed())
         failures = self.failures()
-        digest_to_key = {self._digest(key): key for key in jobs}
-        now = time.time()
+        quarantined = self.quarantined()
+        digest_to_key = {self._digest(key): key for key in jobs_keys}
+        now_ts = faults.now()
         active: List[Dict[str, object]] = []
         stale: List[Dict[str, object]] = []
         for path in sorted(self.leases_dir.glob("*.lease")):
             record = self._read_json(path) or {}
             try:
-                age = now - path.stat().st_mtime
+                age = now_ts - path.stat().st_mtime
             except OSError:
                 continue  # released between the glob and the stat
+            key = digest_to_key.get(path.stem, record.get("key", path.stem))
+            if age > self.lease_ttl and key in done:
+                # completed but never released (died post-append): reap
+                # rather than reporting a forever-stale ghost
+                self._reap_completed_lease(path)
+                continue
             entry = {
-                "key": digest_to_key.get(path.stem, record.get("key", path.stem)),
+                "key": key,
                 "worker": record.get("worker", "?"),
                 "age_s": age,
             }
             (stale if age > self.lease_ttl else active).append(entry)
-        completed = sum(1 for key in jobs if key in done)
-        failed = sum(1 for key in jobs if key in failures and key not in done)
+        job_set = set(jobs_keys)
+        completed = sum(1 for key in jobs_keys if key in done)
+        unresolved_failures = {
+            k: v
+            for k, v in failures.items()
+            if k in job_set and k not in done
+        }
+        quarantined = {
+            k: v for k, v in quarantined.items() if k in job_set and k not in done
+        }
+        failed = len(set(unresolved_failures) | set(quarantined))
         return QueueStatus(
-            total=len(jobs),
+            total=len(jobs_keys),
             completed=completed,
             failed=failed,
             claimed=len(active),
-            pending=len(jobs) - completed - failed,
+            pending=len(jobs_keys) - completed - failed,
             active=active,
             stale=stale,
-            failures={k: v for k, v in failures.items() if k in jobs},
+            failures=unresolved_failures,
+            quarantined=quarantined,
         )
 
     def drained(self, only_keys: Optional[Set[str]] = None) -> bool:
         """True when every queued job (or every job in ``only_keys``) has
-        completed or failed."""
-        jobs = self.jobs()
-        keys = jobs.keys() if only_keys is None else only_keys & jobs.keys()
+        completed, exhausted its failure budget, or been quarantined.
+
+        A failure with retry budget (and backoff) remaining does *not*
+        drain the queue — a waiting worker will re-claim it."""
+        keys = self._manifest_index()
+        if only_keys is not None:
+            keys = [key for key in keys if key in only_keys]
         if not keys:
             return True
         done = set(self.completed())
-        failed = set(self.failures())
-        return all(key in done or key in failed for key in keys)
+        failed = self.failures()
+        quarantined = set(self.quarantined())
+        for key in keys:
+            if key in done or key in quarantined:
+                continue
+            record = failed.get(key)
+            if record is not None and self._failure_terminal(record):
+                continue
+            return False
+        return True
 
 
 def _heartbeat_loop(lease: Lease, stop: threading.Event, interval: float) -> None:
@@ -471,16 +947,20 @@ def run_worker(
 
     Each claimed job runs under a daemon heartbeat thread so long flows
     keep their lease fresh.  Per-job failures are recorded to the queue
-    (other jobs still run; callers decide whether missing results are
-    fatal); ``KeyboardInterrupt``/``SystemExit`` release the claim
-    un-failed and propagate, so an interrupted worker's job is simply
-    picked up by a survivor.
+    with retry/backoff semantics (other jobs still run; callers decide
+    whether missing results are fatal); ``KeyboardInterrupt`` /
+    ``SystemExit`` release the claim un-failed and propagate, so an
+    interrupted worker's job is simply picked up by a survivor.  When
+    running in a process main thread, ``SIGTERM`` is converted into
+    ``SystemExit`` so a *polite* kill releases the held lease at once
+    (the shard is already fsynced per append) instead of stranding it
+    until TTL expiry.
 
     ``wait=True`` keeps the worker polling while unclaimed work might
-    still materialize — i.e. until every queued job is completed or
-    failed — which is what lets a surviving worker outlive a crashed
-    one and reclaim its expired lease.  ``wait=False`` exits at the
-    first moment nothing is claimable.
+    still materialize — i.e. until every queued job is completed,
+    terminally failed, or quarantined — which is what lets a surviving
+    worker outlive a crashed one and reclaim its expired lease.
+    ``wait=False`` exits at the first moment nothing is claimable.
     """
     if not isinstance(queue, WorkQueue):
         queue = WorkQueue(queue, lease_ttl=lease_ttl if lease_ttl else 300.0)
@@ -495,33 +975,60 @@ def run_worker(
         if poll_interval is not None
         else min(max(queue.lease_ttl / 4.0, 0.05), 2.0)
     )
+
+    def _sigterm(signum, frame):  # pragma: no cover - exercised via subprocess
+        raise SystemExit(143)
+
+    prev_handler = None
+    installed = False
+    try:
+        prev_handler = signal.signal(signal.SIGTERM, _sigterm)
+        installed = True
+    except ValueError:
+        pass  # not the main thread: polite-kill handling is the caller's job
+
     done = 0
-    while max_jobs is None or done < max_jobs:
-        lease = queue.claim(worker, only_keys=only_keys)
-        if lease is None:
-            if not wait or queue.drained(only_keys):
-                break
-            time.sleep(poll)  # in-flight work elsewhere may yet expire
-            continue
-        stop = threading.Event()
-        beater = threading.Thread(
-            target=_heartbeat_loop, args=(lease, stop, interval), daemon=True
-        )
-        beater.start()
-        try:
-            metrics = execute(lease.payload)
-        except (KeyboardInterrupt, SystemExit):
+    try:
+        while max_jobs is None or done < max_jobs:
+            lease = queue.claim(worker, only_keys=only_keys)
+            if lease is None:
+                if not wait or queue.drained(only_keys):
+                    break
+                time.sleep(poll)  # in-flight work elsewhere may yet expire
+                continue
+            fault_point("worker.after_claim")
+            stop = threading.Event()
+            beater = threading.Thread(
+                target=_heartbeat_loop, args=(lease, stop, interval), daemon=True
+            )
+            beater.start()
+            try:
+                metrics = execute(lease.payload)
+                fault_point("worker.after_execute")
+            except (KeyboardInterrupt, SystemExit):
+                stop.set()
+                beater.join()
+                lease.release()  # unclaimed again: a surviving worker takes it
+                raise
+            except BaseException:
+                stop.set()
+                beater.join()
+                queue.record_failure(lease, traceback.format_exc(), worker)
+                continue
             stop.set()
             beater.join()
-            lease.release()  # unclaimed again: a surviving worker takes it
-            raise
-        except BaseException:
-            stop.set()
-            beater.join()
-            queue.record_failure(lease, traceback.format_exc(), worker)
-            continue
-        stop.set()
-        beater.join()
-        queue.complete(lease, metrics, worker)
-        done += 1
+            try:
+                queue.complete(lease, metrics, worker)
+            except (KeyboardInterrupt, SystemExit):
+                lease.release()
+                raise
+            except BaseException:
+                # failing to *record* a result is a job failure, not a
+                # worker death: the job retries under the normal budget
+                queue.record_failure(lease, traceback.format_exc(), worker)
+                continue
+            done += 1
+    finally:
+        if installed and prev_handler is not None:
+            signal.signal(signal.SIGTERM, prev_handler)
     return done

@@ -29,6 +29,12 @@ class FlowMetrics:
     voltage_volumes: int
     runtime_s: float
     feasible: bool = True
+    #: fallbacks taken while producing this record (Woodbury→refactorize,
+    #: persisted-LU→fresh, bounded I/O retries, ...), counter per reason —
+    #: how a sweep reports *how* it survived, not just that it did.  Counts
+    #: depend on process cache state, so oracle comparisons exclude them
+    #: (like ``runtime_s``).
+    degradations: Dict[str, int] = field(default_factory=dict)
 
     _NUMERIC = (
         "spatial_entropy_s1",
@@ -53,6 +59,8 @@ class FlowMetrics:
         }
         for name in self._NUMERIC:
             out[name] = getattr(self, name)
+        if self.degradations:
+            out["degradations"] = dict(self.degradations)
         return out
 
     @classmethod
@@ -62,6 +70,7 @@ class FlowMetrics:
             "benchmark": str(data["benchmark"]),
             "mode": str(data["mode"]),
             "feasible": bool(data.get("feasible", True)),
+            "degradations": dict(data.get("degradations") or {}),
         }
         for name in cls._NUMERIC:
             value = data[name]

@@ -26,8 +26,9 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+from .faults import TornWriteFault, fault_point, record_degradation, retry_io
 from .results import FlowMetrics
 
 __all__ = [
@@ -71,6 +72,10 @@ def persist_atomic(path: Path, write_tmp) -> None:
         written = Path(write_tmp(tmp))
         os.replace(written, path)
     except OSError:
+        # a cache entry that failed to persist is a degradation worth
+        # counting (the factorization will be re-derived elsewhere), not
+        # an error worth raising
+        record_degradation("persist.write_failed")
         # clean up whatever the failed writer left (write_tmp may have
         # died before returning its actual output name, e.g. disk-full
         # mid-np.savez) so shared cache dirs don't accumulate junk
@@ -103,7 +108,7 @@ class ResultsStore:
         #: parsed records memoized against the file's (mtime_ns, size) —
         #: resuming a large sweep reads the JSONL once, not per caller
         self._cache_stamp: Optional[Tuple[int, int]] = None
-        self._cache: Dict[str, FlowMetrics] = {}
+        self._cache: Dict[str, Tuple[FlowMetrics, Optional[int]]] = {}
 
     def __len__(self) -> int:
         return len(self.completed())
@@ -119,21 +124,44 @@ class ResultsStore:
         except (OSError, ValueError):  # absent or empty file
             return True
 
-    def append(self, key: str, metrics: FlowMetrics) -> None:
-        """Durably record one finished job (flushed + fsynced per line)."""
-        record = {"schema": _SCHEMA, "key": key, "metrics": metrics.to_dict()}
-        line = json.dumps(record, sort_keys=True)
-        # a torn final line (crash mid-append) must not swallow this
-        # record too: terminate it first so we always start a fresh line
-        heal = not self._ends_with_newline()
-        with open(self.path, "a", encoding="utf-8") as fh:
-            if heal:
-                fh.write("\n")
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+    def append(self, key: str, metrics: FlowMetrics, epoch: Optional[int] = None) -> None:
+        """Durably record one finished job (flushed + fsynced per line).
 
-    def _records(self) -> Iterator[Tuple[str, FlowMetrics]]:
+        ``epoch`` is the writer's fencing token (see
+        :meth:`~repro.core.queue.WorkQueue.claim`): :meth:`merge_shards`
+        uses it to discard records a fenced-out zombie worker appended
+        after losing its lease.  Transient fs errors — including an
+        injected torn write, which leaves a half line this same method
+        heals on retry — cost a bounded retry, not the record.
+        """
+        record = {"schema": _SCHEMA, "key": key, "metrics": metrics.to_dict()}
+        if epoch is not None:
+            record["epoch"] = int(epoch)
+        line = json.dumps(record, sort_keys=True)
+
+        def write() -> None:
+            # a torn final line (crash mid-append) must not swallow this
+            # record too: terminate it first so we always start a fresh line
+            heal = not self._ends_with_newline()
+            with open(self.path, "a", encoding="utf-8") as fh:
+                if heal:
+                    fh.write("\n")
+                try:
+                    fault_point("store.append")
+                except TornWriteFault:
+                    # act out the crash-mid-write the heal path exists
+                    # for: half the line lands, durably, with no newline
+                    fh.write(line[: max(1, len(line) // 2)])
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                    raise
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+        retry_io(write, site="store.append")
+
+    def _records(self) -> Iterator[Tuple[str, FlowMetrics, Optional[int]]]:
         if not self.path.exists():
             return
         with open(self.path, "r", encoding="utf-8") as fh:
@@ -145,7 +173,12 @@ class ResultsStore:
                     record = json.loads(line)
                     if record.get("schema", 0) > _SCHEMA:
                         continue
-                    yield record["key"], FlowMetrics.from_dict(record["metrics"])
+                    epoch = record.get("epoch")
+                    yield (
+                        record["key"],
+                        FlowMetrics.from_dict(record["metrics"]),
+                        int(epoch) if epoch is not None else None,
+                    )
                 except (ValueError, KeyError, TypeError):
                     # torn or foreign line (e.g. the process died
                     # mid-append); everything before it is still good
@@ -158,21 +191,27 @@ class ResultsStore:
         except OSError:
             return None
 
-    def completed(self) -> Dict[str, FlowMetrics]:
-        """All durable results, keyed by job key (last record wins)."""
+    def records(self) -> Dict[str, Tuple[FlowMetrics, Optional[int]]]:
+        """All durable results with their fencing epochs (last per key)."""
         stamp = self._stamp()
         if stamp is None:
             return {}
         if stamp != self._cache_stamp:
-            self._cache = dict(self._records())
+            self._cache = {key: (m, epoch) for key, m, epoch in self._records()}
             self._cache_stamp = stamp
         return dict(self._cache)
 
+    def completed(self) -> Dict[str, FlowMetrics]:
+        """All durable results, keyed by job key (last record wins)."""
+        return {key: metrics for key, (metrics, _epoch) in self.records().items()}
+
     def keys(self) -> List[str]:
-        return list(self.completed())
+        return list(self.records())
 
     def merge_shards(
-        self, shards: Iterable["ResultsStore" | str | Path]
+        self,
+        shards: Iterable["ResultsStore" | str | Path],
+        fences: Optional[Mapping[str, int]] = None,
     ) -> int:
         """Consolidate per-worker shard stores into this store.
 
@@ -183,18 +222,34 @@ class ResultsStore:
         key, so duplicate completions carry identical records and the
         choice of survivor does not matter.  Returns the number of
         records appended.
+
+        ``fences`` maps job keys to the current fencing epoch (see
+        :meth:`WorkQueue.fence_epochs`): a shard record carrying an
+        older epoch was appended by a zombie worker *after* its lease
+        was reclaimed, and is discarded — including superseding such a
+        record already merged here before the reclamation happened.
+        Records without an epoch (direct store appends) always pass.
         """
-        have = set(self.completed())
+        fences = dict(fences) if fences else {}
+
+        def fenced_out(key: str, epoch: Optional[int]) -> bool:
+            return epoch is not None and epoch < fences.get(key, 0)
+
+        have: Dict[str, Optional[int]] = {
+            key: epoch for key, (_m, epoch) in self.records().items()
+        }
         merged = 0
         for shard in shards:
             if isinstance(shard, (str, Path)):
                 shard_path = Path(shard)
                 shard = ResultsStore(shard_path.parent, filename=shard_path.name)
-            for key, metrics in shard.completed().items():
-                if key in have:
+            for key, (metrics, epoch) in shard.records().items():
+                if fenced_out(key, epoch):
                     continue
-                self.append(key, metrics)
-                have.add(key)
+                if key in have and not fenced_out(key, have[key]):
+                    continue
+                self.append(key, metrics, epoch=epoch)
+                have[key] = epoch
                 merged += 1
         return merged
 

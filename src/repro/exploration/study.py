@@ -246,16 +246,29 @@ def batch_worker_main(
     worker_id: Optional[str] = None,
     max_jobs: Optional[int] = None,
     only_keys: Optional[frozenset] = None,
+    max_attempts: int = 1,
+    retry_backoff: float = 1.0,
 ) -> int:
     """One queue-draining worker process (the ``repro.cli work`` unit).
 
     Configures the process-wide solver/model caches, then claims and
     executes :class:`BatchJob` payloads until the queue is drained —
     all of it, or just ``only_keys`` when the caller owns a subset.
-    Returns the number of jobs this worker completed.
+    ``max_attempts``/``retry_backoff`` set this worker's per-job retry
+    budget and backoff base (see :class:`~repro.core.queue.WorkQueue`);
+    with ``max_attempts > 1`` crash-steals are bounded by the same
+    budget, so a poison job quarantines instead of killing the whole
+    pool round after round.  Returns the number of jobs this worker
+    completed.
     """
     _init_batch_worker(cache_dir)
-    queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+    queue = WorkQueue(
+        queue_dir,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+        max_steals=max_attempts if max_attempts > 1 else None,
+    )
     return run_worker(
         queue,
         execute_batch_payload,
@@ -272,6 +285,8 @@ def run_batch(
     cache_dir: Union[str, Path, None] = None,
     queue_dir: Union[str, Path, None] = None,
     lease_ttl: float = 300.0,
+    max_attempts: int = 1,
+    retry_backoff: float = 1.0,
 ) -> List[FlowMetrics]:
     """Run many flow invocations through the distributed queue backend.
 
@@ -298,6 +313,11 @@ def run_batch(
     detailed-solver factorizations and calibrated fast-thermal models
     there, so identical stacks warm up once across the whole pool (and
     across re-runs) instead of once per process.
+
+    ``max_attempts``/``retry_backoff`` give every job a retry budget with
+    exponential backoff (default: failures are terminal, the historical
+    behaviour); a job that exhausts its budget is quarantined and
+    surfaces in the final :class:`RuntimeError` like any other failure.
     """
     jobs = list(jobs)
     if not jobs:
@@ -319,7 +339,13 @@ def run_batch(
             own_tmp = tempfile.TemporaryDirectory(prefix="repro-queue-")
             queue_dir = own_tmp.name
     try:
-        queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+        queue = WorkQueue(
+            queue_dir,
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            retry_backoff=retry_backoff,
+            max_steals=max_attempts if max_attempts > 1 else None,
+        )
         for i in pending:
             key = jobs[i].key()
             queue.enqueue(key, asdict(jobs[i]))
@@ -360,6 +386,8 @@ def run_batch(
                         lease_ttl,
                         cache_dir,
                         only_keys=pending_keys,
+                        max_attempts=max_attempts,
+                        retry_backoff=retry_backoff,
                     )
                     for _ in range(processes)
                 ]

@@ -33,6 +33,7 @@ import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..core.faults import fault_fires, fault_point, record_degradation, warn_degraded
 from ..layout.die import StackConfig
 from ..layout.floorplan import Floorplan3D
 from ..layout.grid import GridSpec
@@ -170,6 +171,7 @@ def _save_lu(path: Path, lu, conductance_digest: str) -> None:
     U = lu.U.tocsc()
 
     def write(tmp: Path) -> str:
+        fault_point("lu.save")
         np.savez(
             tmp,
             L_data=L.data, L_indices=L.indices, L_indptr=L.indptr,
@@ -188,16 +190,24 @@ def _load_lu(path: Path) -> Optional[Tuple[_PersistedLU, str]]:
 
     A torn file from a crashed writer can carry a valid zip header with
     a truncated payload (BadZipFile/EOFError) — any unreadable cache
-    entry means "factorize fresh", never a crash.
+    entry means "factorize fresh" (a counted, warned degradation), never
+    a crash mid-sweep.
     """
     try:
+        fault_point("lu.load")
         with np.load(path) as z:
             shape = tuple(z["shape"])
             L = sp.csc_matrix((z["L_data"], z["L_indices"], z["L_indptr"]), shape=shape)
             U = sp.csc_matrix((z["U_data"], z["U_indices"], z["U_indptr"]), shape=shape)
             digest = str(z["conductance_digest"])
             return _PersistedLU(L, U, z["perm_r"], z["perm_c"]), digest
-    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+    except FileNotFoundError:
+        return None  # a cold cache is the normal case, not a degradation
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        warn_degraded(
+            "persisted_lu.load_failed",
+            f"unreadable persisted LU {path.name} ({exc!r}); factorizing fresh",
+        )
         return None
 
 
@@ -378,20 +388,33 @@ class WoodburySolver:
         selection[indices, np.arange(rank)] = 1.0
         z = self.base._lu.solve(selection)
         core_system = np.eye(rank) + self.update.core @ z[indices, :]
+        if fault_fires("woodbury.singular_core"):
+            # chaos hook: make the core exactly singular so the LinAlg
+            # guard (not just the probe) is exercised on a real network
+            core_system[:] = 0.0
         try:
             core_lu = scipy.linalg.lu_factor(core_system)
+            if not np.all(np.isfinite(core_lu[0])) or np.any(
+                np.diag(core_lu[0]) == 0.0
+            ):
+                # lu_factor reports exact singularity as a warning, not
+                # a LinAlgError; a zero pivot would surface as inf/nan
+                # temperatures downstream — fall back instead
+                raise scipy.linalg.LinAlgError("singular Woodbury core")
         except scipy.linalg.LinAlgError:
             self._fall_back("singular-core")
             return
         self._z = z
         self._core_lu = core_lu
-        if probe and not self._probe_ok():
+        probe_failed = fault_fires("woodbury.probe")
+        if probe and (probe_failed or not self._probe_ok()):
             self._z = None
             self._core_lu = None
             self._fall_back("residual")
 
     def _fall_back(self, reason: str) -> None:
         self.fallback_reason = reason
+        record_degradation(f"woodbury.fallback.{reason}")
         self._full = SteadyStateSolver(self.stack, network=self.network)
 
     @property
@@ -627,6 +650,7 @@ class SolverCache:
                 return candidate
             # factors of an older network revision: drop them so the
             # fresh factorization below can re-persist
+            record_degradation("persisted_lu.stale_digest")
             path.unlink(missing_ok=True)
         elif path.exists():
             # unreadable (torn/foreign) file: heal it, or the

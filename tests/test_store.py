@@ -42,6 +42,15 @@ class TestFlowMetricsRoundTrip:
         assert isinstance(again.signal_tsvs, int)
         assert isinstance(again.voltage_volumes, int)
 
+    def test_degradations_round_trip_and_default_empty(self):
+        m = _metrics()
+        assert m.degradations == {}
+        assert "degradations" not in m.to_dict()  # clean runs stay compact
+        m.degradations = {"woodbury.fallback.rank": 2}
+        again = FlowMetrics.from_dict(m.to_dict())
+        assert again == m
+        assert again.degradations == {"woodbury.fallback.rank": 2}
+
 
 class TestResultsStore:
     def test_append_and_completed(self, tmp_path):
@@ -72,6 +81,14 @@ class TestResultsStore:
         # appending after the torn line starts a fresh valid line
         reopened.append("c", _metrics())
         assert set(ResultsStore(tmp_path).completed()) == {"a", "c"}
+
+    def test_epoch_round_trips_through_records(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("fenced", _metrics(), epoch=3)
+        store.append("plain", _metrics())
+        records = ResultsStore(tmp_path).records()
+        assert records["fenced"][1] == 3
+        assert records["plain"][1] is None
 
     def test_newer_schema_lines_are_skipped(self, tmp_path):
         store = ResultsStore(tmp_path)
