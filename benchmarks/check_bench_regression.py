@@ -57,6 +57,9 @@ TRACKED = [
     "test_detailed_solve_32",
     "test_mitigation_candidate_woodbury_64",
     "test_mitigation_candidate_refactorize_64",
+    "test_persisted_rhs_scipy_64",
+    "test_persisted_rhs_compiled_64",
+    "test_mitigation_candidate_woodbury_compiled_64",
 ]
 
 #: paired-kernel speedup floors, checked within one run (so they are
@@ -66,6 +69,26 @@ TRACKED = [
 RATIO_GATES = [
     {
         "fast": "test_mitigation_candidate_woodbury_64",
+        "slow": "test_mitigation_candidate_refactorize_64",
+        "min_ratio": 3.0,
+    },
+    # the compiled backend's batched substitution vs the historical
+    # spsolve_triangular path, over the same persisted factors
+    {
+        "fast": "test_persisted_rhs_compiled_64",
+        "slow": "test_persisted_rhs_scipy_64",
+        "min_ratio": 3.0,
+    },
+    # Woodbury candidate scoring through non-SuperLU base backends must
+    # keep the low-rank advantage (cholmod only runs on the optional CI
+    # leg — an absent kernel skips the gate, see below)
+    {
+        "fast": "test_mitigation_candidate_woodbury_compiled_64",
+        "slow": "test_mitigation_candidate_refactorize_64",
+        "min_ratio": 3.0,
+    },
+    {
+        "fast": "test_mitigation_candidate_woodbury_cholmod_64",
         "slow": "test_mitigation_candidate_refactorize_64",
         "min_ratio": 3.0,
     },

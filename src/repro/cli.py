@@ -29,6 +29,7 @@ reclaimed by survivors (see :mod:`repro.core.queue`).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
@@ -310,6 +311,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_arg(p) -> None:
+        from .thermal.backends import BACKEND_NAMES
+
+        p.add_argument(
+            "--thermal-backend",
+            choices=("auto",) + BACKEND_NAMES,
+            default=None,
+            help="factorization backend for all thermal solves (default: "
+                 "the REPRO_THERMAL_BACKEND env var, else 'auto' — cholmod "
+                 "when scikit-sparse is installed, multigrid beyond the "
+                 "grid-size threshold, superlu otherwise); an unavailable "
+                 "choice degrades to superlu with a counted degradation",
+        )
+
     p_flow = sub.add_parser("flow", help="run one floorplanning flow")
     p_flow.add_argument("benchmark", choices=benchmark_names())
     p_flow.add_argument("--mode", choices=["power_aware", "tsc_aware"],
@@ -321,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="refactorize every mitigation candidate stack "
                              "instead of solving them through the round's "
                              "base LU (the Woodbury path); the slow oracle")
+    add_backend_arg(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
     p_sweep = sub.add_parser("sweep", help="PA vs TSC over several benchmarks")
@@ -328,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--runs", type=int, default=2)
     p_sweep.add_argument("--iterations", type=int, default=1500)
     p_sweep.add_argument("--grid", type=int, default=32)
+    add_backend_arg(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     def add_grid_args(p) -> None:
@@ -339,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="runs per (benchmark, mode), seeded 0..N-1")
         p.add_argument("--iterations", type=int, default=1500)
         p.add_argument("--grid", type=int, default=32)
+        add_backend_arg(p)
 
     p_batch = sub.add_parser(
         "batch", help="parallel scenario sweep over local worker processes"
@@ -390,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--backoff", type=float, default=1.0,
                         help="base seconds of exponential retry backoff "
                              "(doubles per attempt, plus jitter)")
+    add_backend_arg(p_work)
     p_work.set_defaults(func=_cmd_work)
 
     p_stat = sub.add_parser(
@@ -410,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="factorize every TSV pattern's network instead "
                             "of riding the empty-interface factorization "
                             "via low-rank Woodbury updates")
+    add_backend_arg(p_exp)
     p_exp.set_defaults(func=_cmd_explore)
 
     p_b = sub.add_parser("benchmarks", help="list the Table 1 suite")
@@ -420,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    backend = getattr(args, "thermal_backend", None)
+    if backend is not None:
+        # through the environment rather than call-site plumbing so the
+        # choice reaches worker *processes* (batch pools, queue workers)
+        # exactly like any other REPRO_* knob
+        os.environ["REPRO_THERMAL_BACKEND"] = backend
     return args.func(args)
 
 

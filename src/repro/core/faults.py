@@ -44,6 +44,14 @@ into a half-written line), ``raise`` (:class:`InjectedFault`), ``crash``
 Triggers: ``always`` (default), ``after:N`` (the Nth arrival, exactly
 once), ``every:N`` (every Nth arrival), ``prob:P[:SEED]`` (seeded
 Bernoulli per arrival — deterministic for a fixed seed).
+
+The thermal factorization-backend layer adds ``fail``-style sites
+``backend.cholmod.unavailable`` / ``backend.compiled_triangular.unavailable``
+/ ``backend.multigrid.unavailable`` (checked via :func:`fault_fires` in
+each backend's ``available()``), which simulate a host missing the
+optional library: a forced-unavailable backend that was explicitly
+requested degrades to superlu with a counted
+``backend.fallback.<name>`` ledger entry.
 """
 
 from __future__ import annotations

@@ -1,0 +1,136 @@
+"""Factorization backends and the policy that picks one.
+
+Selection order (:func:`resolve_backend`):
+
+1. an explicit request — the ``backend=`` argument (a name or a
+   :class:`~repro.thermal.backends.base.FactorizationBackend` instance)
+   or, failing that, the ``REPRO_THERMAL_BACKEND`` environment variable
+   (``auto`` means "no request").  A requested backend that is
+   unavailable here (missing library, injected fault) **degrades to
+   superlu** with a counted ``backend.fallback.<name>`` degradation —
+   sweeps survive heterogeneous hosts and the ledger says which hosts
+   ran what;
+2. ``auto``: grids with more than :func:`multigrid_threshold` cells per
+   layer take the multigrid backend (direct factorization cost explodes
+   past 64x64); otherwise cholmod when scikit-sparse is importable;
+   otherwise superlu.
+
+The compiled_triangular backend is never auto-selected for *fresh*
+solves — it changes low-order bits relative to the superlu oracle, so
+switching it on is an explicit (flag / env) decision.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from ...core.faults import warn_degraded
+from .base import (
+    BackendUnavailable,
+    FactorHints,
+    Factorization,
+    FactorizationBackend,
+)
+from .cholmod import CholmodBackend
+from .compiled import CompiledTriangularBackend
+from .multigrid import MultigridBackend
+from .superlu import SuperLUBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendUnavailable",
+    "FactorHints",
+    "Factorization",
+    "FactorizationBackend",
+    "get_backend",
+    "multigrid_threshold",
+    "resolve_backend",
+]
+
+_REGISTRY = {
+    backend_cls.name: backend_cls
+    for backend_cls in (
+        SuperLUBackend,
+        CholmodBackend,
+        CompiledTriangularBackend,
+        MultigridBackend,
+    )
+}
+
+#: registry order = documentation order (superlu is the universal floor)
+BACKEND_NAMES = tuple(_REGISTRY)
+
+_INSTANCES: dict = {}
+
+#: cells per layer above which ``auto`` switches to multigrid; 4096
+#: (= 64x64) keeps every historical grid on the direct oracle path
+_DEFAULT_MULTIGRID_THRESHOLD = 4096
+
+
+def get_backend(name: str) -> FactorizationBackend:
+    """The (process-wide) backend instance registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown thermal backend {name!r}; choose from "
+            f"{', '.join(BACKEND_NAMES)} (or 'auto')"
+        ) from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = cls()
+    return _INSTANCES[name]
+
+
+def multigrid_threshold() -> int:
+    """Cells-per-layer bound above which ``auto`` engages multigrid
+    (override with ``REPRO_MULTIGRID_THRESHOLD``)."""
+    raw = os.environ.get("REPRO_MULTIGRID_THRESHOLD")
+    if raw is None:
+        return _DEFAULT_MULTIGRID_THRESHOLD
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MULTIGRID_THRESHOLD must be an integer, got {raw!r}"
+        )
+
+
+def resolve_backend(
+    backend: Union[FactorizationBackend, str, None] = None,
+    *,
+    hints: Optional[FactorHints] = None,
+    cells_per_layer: Optional[int] = None,
+) -> FactorizationBackend:
+    """The backend that will factor the next system (see module doc).
+
+    ``hints``/``cells_per_layer`` feed the auto-selection size rule; an
+    explicitly passed :class:`FactorizationBackend` instance is trusted
+    as-is (the caller already decided).
+    """
+    if isinstance(backend, FactorizationBackend):
+        return backend
+    name = backend if backend is not None else os.environ.get(
+        "REPRO_THERMAL_BACKEND"
+    )
+    name = (name or "auto").strip().lower()
+    if name != "auto":
+        requested = get_backend(name)
+        if requested.available():
+            return requested
+        warn_degraded(
+            f"backend.fallback.{name}",
+            f"thermal backend {name!r} unavailable "
+            f"({requested.unavailable_reason()}); using superlu",
+        )
+        return get_backend("superlu")
+    if cells_per_layer is None and hints is not None:
+        cells_per_layer = hints.cells_per_layer
+    if cells_per_layer is not None and cells_per_layer > multigrid_threshold():
+        multigrid = get_backend("multigrid")
+        if multigrid.available():
+            return multigrid
+    cholmod = get_backend("cholmod")
+    if cholmod.available():
+        return cholmod
+    return get_backend("superlu")

@@ -1,0 +1,153 @@
+"""The factorization-backend protocol.
+
+Everything in the thermal stack that used to call ``scipy``'s ``splu`` /
+``spsolve_triangular`` directly now goes through a
+:class:`FactorizationBackend`: ``backend.factor(G) -> Factorization``,
+where the returned object knows how to solve against the factored system
+and *describes itself* — whether its solves route through persisted
+(rebuilt) factors, roughly what one right-hand side costs relative to
+native SuperLU, and whether it can serve as the base of a Woodbury
+low-rank solver.  Callers make policy decisions (cache eviction,
+Woodbury crossover deflation, disk persistence) from those capability
+fields instead of sniffing concrete types.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "BackendUnavailable",
+    "FactorHints",
+    "Factorization",
+    "FactorizationBackend",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """Requested backend cannot run here (missing library, bad hints)."""
+
+
+@dataclass(frozen=True)
+class FactorHints:
+    """Structural information a backend may exploit (but must not require
+    unless it says so).
+
+    ``grid_shape`` is the ``(layers, ny, nx)`` shape behind the
+    layer-major node numbering of an assembled
+    :class:`~repro.thermal.rc_network.ThermalNetwork` — the multigrid
+    backend needs it to build its in-plane coarsening and z-line
+    smoother; direct backends ignore it.
+    """
+
+    grid_shape: Optional[Tuple[int, int, int]] = None
+
+    @property
+    def cells_per_layer(self) -> Optional[int]:
+        if self.grid_shape is None:
+            return None
+        return int(self.grid_shape[1]) * int(self.grid_shape[2])
+
+
+class Factorization(abc.ABC):
+    """One factored (or otherwise solvable) SPD system.
+
+    Capability / cost metadata (class attributes, overridable per
+    instance):
+
+    * ``backend_name`` — the backend that produced this object;
+    * ``is_persisted`` — solves route through factors rebuilt from disk
+      rather than a native in-process factorization (the cache uses this
+      to decide what :meth:`~repro.thermal.steady_state.SolverCache.
+      drop_persisted_solvers` evicts);
+    * ``per_rhs_cost_hint`` — approximate cost of one back-substitution
+      relative to native SuperLU (1.0); the Woodbury crossover rank is
+      scaled by ``1 / hint``;
+    * ``supports_woodbury_base`` — whether a
+      :class:`~repro.thermal.steady_state.WoodburySolver` may ride this
+      factorization (iterative backends return approximate solves whose
+      residual floor compounds through the dense core, so they opt out).
+    """
+
+    backend_name: str = "unknown"
+    is_persisted: bool = False
+    per_rhs_cost_hint: float = 1.0
+    supports_woodbury_base: bool = True
+
+    @abc.abstractmethod
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for one ``(N,)`` vector or an ``(N, k)`` block."""
+
+    def solve_many(self, b: np.ndarray) -> np.ndarray:
+        """Batched multi-RHS solve; default delegates to :meth:`solve`,
+        which every backend here already implements block-wise."""
+        return self.solve(b)
+
+    def solve_triangular_parts(
+        self, b: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(forward, solution)``: the intermediate of the forward
+        (lower-triangular) substitution and the full solve.
+
+        Diagnostic hook for factor-level validation; backends without
+        explicit triangular factors (multigrid) raise
+        ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{self.backend_name} exposes no triangular factors"
+        )
+
+
+class FactorizationBackend(abc.ABC):
+    """Factory for :class:`Factorization` objects plus persistence glue."""
+
+    #: registry name (also the ``--thermal-backend`` / env-var token)
+    name: str = "unknown"
+    #: whether factorizations can round-trip through an on-disk payload
+    supports_persistence: bool = False
+
+    def available(self) -> bool:
+        """Whether this backend can run in this process (libraries
+        importable, no injected unavailability fault)."""
+        return True
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Human-readable reason when :meth:`available` is False."""
+        return None
+
+    @abc.abstractmethod
+    def factor(
+        self,
+        matrix: sp.spmatrix,
+        *,
+        reconstructable: bool = False,
+        hints: Optional[FactorHints] = None,
+    ) -> Factorization:
+        """Factor ``matrix`` (SPD, diagonally dominant).
+
+        ``reconstructable=True`` asks for a factorization whose payload
+        can be persisted and rebuilt in another process (backends that
+        cannot honour it raise :class:`BackendUnavailable`).
+        """
+
+    # -- persistence -------------------------------------------------
+    def payload_from(self, fact: Factorization) -> Dict[str, np.ndarray]:
+        """Arrays describing ``fact`` for on-disk persistence."""
+        raise BackendUnavailable(f"{self.name} factorizations do not persist")
+
+    def accepts_payload(self, payload: Dict[str, np.ndarray]) -> bool:
+        """Whether :meth:`factorization_from_payload` understands this
+        payload ``kind`` (e.g. the compiled backend adopts plain ``lu``
+        payloads written by the superlu backend)."""
+        return False
+
+    def factorization_from_payload(
+        self, payload: Dict[str, np.ndarray]
+    ) -> Factorization:
+        """Rebuild a persisted factorization (``is_persisted=True``)."""
+        raise BackendUnavailable(f"{self.name} factorizations do not persist")

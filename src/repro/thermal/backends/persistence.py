@@ -1,0 +1,147 @@
+"""Versioned on-disk persistence of factorization payloads.
+
+Format history:
+
+* **v1** (PR 3..6): ``lu-<digest>.npz`` with raw SuperLU triangular
+  factors (``L_*``, ``U_*``, ``perm_r``, ``perm_c``, ``shape``,
+  ``conductance_digest``) and no format/backend markers; the digest in
+  the filename was computed over a cache key *without* a backend
+  component.
+* **v2** (this revision): ``fact-<digest>.npz`` where the digest covers
+  the backend name too, plus three marker fields — ``format`` (2),
+  ``backend`` (writer's registry name) and ``kind``: ``lu`` for a
+  row/column-permuted LU triangular pair, ``cholesky`` for a permuted
+  Cholesky factor (``PAPᵀ = LLᵀ``, only ``L`` and one permutation are
+  stored).
+
+v1 files are still understood: :func:`read_legacy_payload` upgrades
+them in place (re-saved under the v2 name, old file unlinked) the first
+time a cache miss would otherwise refactorize.
+
+The fault sites (``lu.save`` / ``lu.load``) and the degradation key
+(``persisted_lu.load_failed``) keep their historical names — chaos tests
+and operators' ledgers do not churn with the format.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...core.faults import fault_point, warn_degraded
+
+__all__ = [
+    "FORMAT_VERSION",
+    "KIND_CHOLESKY",
+    "KIND_LU",
+    "load_payload",
+    "payload_kind",
+    "read_legacy_payload",
+    "save_payload",
+    "triangular_matrices",
+]
+
+FORMAT_VERSION = 2
+KIND_LU = "lu"
+KIND_CHOLESKY = "cholesky"
+
+#: payload keys holding sparse matrices as (data, indices, indptr) triples
+_MATRIX_PREFIXES = ("L", "U")
+
+
+def payload_kind(payload: Dict[str, np.ndarray]) -> str:
+    """The payload's factor kind; v1 payloads carry no marker and are LU."""
+    kind = payload.get("kind")
+    return KIND_LU if kind is None else str(kind)
+
+
+def triangular_matrices(payload: Dict[str, np.ndarray]):
+    """The CSC factor matrices stored in a payload (``U`` may be absent
+    for ``cholesky`` payloads, where it is implicitly ``Lᵀ``)."""
+    shape = tuple(int(v) for v in payload["shape"])
+    out = {}
+    for prefix in _MATRIX_PREFIXES:
+        if f"{prefix}_data" in payload:
+            out[prefix] = sp.csc_matrix(
+                (
+                    payload[f"{prefix}_data"],
+                    payload[f"{prefix}_indices"],
+                    payload[f"{prefix}_indptr"],
+                ),
+                shape=shape,
+            )
+    return out
+
+
+def matrix_arrays(prefix: str, matrix: sp.spmatrix) -> Dict[str, np.ndarray]:
+    """``matrix`` flattened to the npz triple under ``prefix``."""
+    m = matrix.tocsc()
+    return {
+        f"{prefix}_data": m.data,
+        f"{prefix}_indices": m.indices,
+        f"{prefix}_indptr": m.indptr,
+    }
+
+
+def save_payload(path: Path, payload: Dict[str, np.ndarray]) -> None:
+    """Persist a payload atomically (torn writers never leave a readable
+    half-file under the final name)."""
+    from ...core.store import persist_atomic
+
+    def write(tmp: Path) -> str:
+        fault_point("lu.save")
+        np.savez(tmp, **payload)
+        return str(tmp) + ".npz"  # np.savez appends .npz to the temp name
+
+    persist_atomic(path, write)
+
+
+def load_payload(path: Path) -> Optional[Dict[str, np.ndarray]]:
+    """The payload stored at ``path``, or None.
+
+    A torn file from a crashed writer can carry a valid zip header with
+    a truncated payload (BadZipFile/EOFError) — any unreadable cache
+    entry means "factorize fresh" (a counted, warned degradation), never
+    a crash mid-sweep.
+    """
+    try:
+        fault_point("lu.load")
+        with np.load(path) as z:
+            payload = {key: z[key] for key in z.files}
+        if "shape" not in payload:
+            raise KeyError("shape")
+        return payload
+    except FileNotFoundError:
+        return None  # a cold cache is the normal case, not a degradation
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        warn_degraded(
+            "persisted_lu.load_failed",
+            f"unreadable persisted factors {path.name} ({exc!r}); "
+            "factorizing fresh",
+        )
+        return None
+
+
+def read_legacy_payload(legacy_path: Path, new_path: Path):
+    """Upgrade a v1 ``lu-*.npz`` file to the v2 name/format.
+
+    Returns the upgraded payload (now saved at ``new_path``) or None
+    when no readable legacy file exists.  The legacy file is unlinked
+    either way — unreadable v1 leftovers must not linger forever.
+    """
+    if not legacy_path.exists():
+        return None
+    payload = load_payload(legacy_path)
+    if payload is None:
+        legacy_path.unlink(missing_ok=True)
+        return None
+    payload.setdefault("format", np.int64(FORMAT_VERSION))
+    payload.setdefault("backend", np.array("superlu"))
+    payload.setdefault("kind", np.array(KIND_LU))
+    save_payload(new_path, payload)
+    legacy_path.unlink(missing_ok=True)
+    return payload

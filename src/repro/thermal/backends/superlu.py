@@ -1,0 +1,181 @@
+"""The SuperLU backend — today's solver behaviour, extracted verbatim.
+
+This is the oracle every other backend is validated against:
+
+* fresh factorizations call ``scipy.sparse.linalg.splu`` with the exact
+  options the solver layer used before the backend split (default
+  equilibrated COLAMD, or ``Equil=False`` when the factors must be
+  persistable), so results are bit-identical to the pre-refactor code;
+* persisted factorizations rebuild solves from the stored triangular
+  pair via two ``spsolve_triangular`` passes — the slow (~15x per RHS)
+  floor the compiled backend exists to beat, kept as the dependency-free
+  fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from . import persistence
+from .base import (
+    BackendUnavailable,
+    FactorHints,
+    Factorization,
+    FactorizationBackend,
+)
+
+__all__ = [
+    "PERSISTED_RHS_PENALTY",
+    "NativeSuperLUFactorization",
+    "PersistedSuperLUFactorization",
+    "SuperLUBackend",
+]
+
+#: how much slower one ``spsolve_triangular`` back-substitution is than
+#: native SuperLU (measured for the PR 3 disk cache; recorded in
+#: ROADMAP) — surfaced as ``per_rhs_cost_hint`` so the Woodbury
+#: crossover deflates by the *measured* penalty of the actual backend
+PERSISTED_RHS_PENALTY = 15.0
+
+
+class NativeSuperLUFactorization(Factorization):
+    """An in-process ``splu`` handle (the historical ``solver._lu``)."""
+
+    backend_name = "superlu"
+    is_persisted = False
+    per_rhs_cost_hint = 1.0
+    supports_woodbury_base = True
+
+    def __init__(self, lu, reconstructable: bool) -> None:
+        self._lu = lu
+        self.reconstructable = reconstructable
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self._lu.solve(b)
+
+    def solve_triangular_parts(
+        self, b: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.reconstructable:
+            # equilibrated factors scale rows/columns internally; the
+            # exposed L/U alone do not reproduce the solve
+            raise NotImplementedError(
+                "equilibrated SuperLU factors are not separable; factor "
+                "with reconstructable=True"
+            )
+        rebuilt = PersistedSuperLUFactorization(
+            self._lu.L, self._lu.U, self._lu.perm_r, self._lu.perm_c
+        )
+        return rebuilt.solve_triangular_parts(b)
+
+
+class PersistedSuperLUFactorization(Factorization):
+    """A solve operator rebuilt from persisted SuperLU factors.
+
+    ``splu`` objects cannot cross process boundaries, but their ``L``,
+    ``U`` and permutations can (factorized with equilibration disabled,
+    so ``A = Pr^T L U Pc^T`` holds exactly).  A solve is then two sparse
+    triangular substitutions — slower per right-hand side than native
+    SuperLU, but it skips the dominant factorization cost entirely, and
+    batched solves (``solve_many``) amortize the difference away.
+    """
+
+    backend_name = "superlu"
+    is_persisted = True
+    per_rhs_cost_hint = PERSISTED_RHS_PENALTY
+    supports_woodbury_base = True
+
+    def __init__(
+        self,
+        L: sp.spmatrix,
+        U: sp.spmatrix,
+        perm_r: np.ndarray,
+        perm_c: np.ndarray,
+    ) -> None:
+        self._L = L.tocsr()
+        self._U = U.tocsr()
+        self._perm_r = np.asarray(perm_r, dtype=np.intp)
+        self._perm_c = np.asarray(perm_c, dtype=np.intp)
+
+    def _forward(self, b: np.ndarray) -> np.ndarray:
+        rb = np.empty_like(b)
+        rb[self._perm_r] = b
+        return spla.spsolve_triangular(
+            self._L, rb, lower=True, unit_diagonal=True, overwrite_b=True
+        )
+
+    def _backward(self, y: np.ndarray) -> np.ndarray:
+        x = spla.spsolve_triangular(self._U, y, lower=False, overwrite_b=True)
+        return x[self._perm_c]
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self._backward(self._forward(b))
+
+    def solve_triangular_parts(
+        self, b: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        y = self._forward(b)
+        return y.copy(), self._backward(y)
+
+
+class SuperLUBackend(FactorizationBackend):
+    """Reference direct backend; always available, never degraded to."""
+
+    name = "superlu"
+    supports_persistence = True
+
+    def factor(
+        self,
+        matrix: sp.spmatrix,
+        *,
+        reconstructable: bool = False,
+        hints: Optional[FactorHints] = None,
+    ) -> Factorization:
+        if reconstructable:
+            lu = spla.splu(matrix.tocsc(), options=dict(Equil=False))
+        else:
+            lu = spla.splu(matrix.tocsc())
+        return NativeSuperLUFactorization(lu, reconstructable)
+
+    def payload_from(self, fact: Factorization) -> Dict[str, np.ndarray]:
+        if isinstance(fact, PersistedSuperLUFactorization):
+            L, U = fact._L, fact._U
+            perm_r, perm_c = fact._perm_r, fact._perm_c
+        elif isinstance(fact, NativeSuperLUFactorization):
+            if not fact.reconstructable:
+                raise BackendUnavailable(
+                    "equilibrated SuperLU factors cannot be persisted; "
+                    "factor with reconstructable=True"
+                )
+            lu = fact._lu
+            L, U, perm_r, perm_c = lu.L, lu.U, lu.perm_r, lu.perm_c
+        else:
+            raise BackendUnavailable(
+                f"cannot persist a {type(fact).__name__} through {self.name}"
+            )
+        payload: Dict[str, np.ndarray] = {
+            "format": np.int64(persistence.FORMAT_VERSION),
+            "backend": np.array(self.name),
+            "kind": np.array(persistence.KIND_LU),
+            "perm_r": np.asarray(perm_r),
+            "perm_c": np.asarray(perm_c),
+            "shape": np.asarray(L.shape, dtype=np.int64),
+        }
+        payload.update(persistence.matrix_arrays("L", L))
+        payload.update(persistence.matrix_arrays("U", U))
+        return payload
+
+    def accepts_payload(self, payload: Dict[str, np.ndarray]) -> bool:
+        return persistence.payload_kind(payload) == persistence.KIND_LU
+
+    def factorization_from_payload(
+        self, payload: Dict[str, np.ndarray]
+    ) -> Factorization:
+        mats = persistence.triangular_matrices(payload)
+        return PersistedSuperLUFactorization(
+            mats["L"], mats["U"], payload["perm_r"], payload["perm_c"]
+        )

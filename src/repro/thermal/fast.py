@@ -279,16 +279,26 @@ def calibrate(
     uniform = np.full(shape, 1.0 / (shape[0] * shape[1]))
     global_amp: Dict[Tuple[int, int], float] = {}
     mean_p = float(uniform.mean())
+    # every calibration solve shares the solver's one factorization, so
+    # all of them go through in two batched multi-RHS substitutions: one
+    # uniform probe per source die here, all random samples below
+    uniform_results = solver.solve_many(
+        [
+            [uniform if d == s else np.zeros(shape) for d in range(num_dies)]
+            for s in range(num_dies)
+        ]
+    )
     for s in range(num_dies):
-        maps = [uniform if d == s else np.zeros(shape) for d in range(num_dies)]
-        result = solver.solve(maps)
+        result = uniform_results[s]
         for t in range(num_dies):
             rise = float((result.die_maps[t] - solver.stack.ambient).mean())
             global_amp[(s, t)] = max(0.0, rise / mean_p)
 
+    # draw all sample maps first (same rng order as the historical
+    # per-solve loop: source-major, sample-minor), then solve the whole
+    # (num_dies * samples)-column block at once
+    sample_pms: List[np.ndarray] = []
     for s in range(num_dies):
-        amp_acc: Dict[int, List[float]] = {t: [] for t in range(num_dies)}
-        sig_acc: Dict[int, List[float]] = {t: [] for t in range(num_dies)}
         for _ in range(samples):
             pm = np.zeros(shape)
             # a handful of point-ish sources keeps the moment fit well posed
@@ -296,8 +306,21 @@ def calibrate(
                 j = int(rng.integers(2, shape[0] - 2))
                 i = int(rng.integers(2, shape[1] - 2))
                 pm[j, i] += float(rng.uniform(0.5, 2.0)) * 1e-3
-            maps = [pm if d == s else np.zeros(shape) for d in range(num_dies)]
-            result = solver.solve(maps)
+            sample_pms.append(pm)
+    sample_results = solver.solve_many(
+        [
+            [pm if d == s else np.zeros(shape) for d in range(num_dies)]
+            for s in range(num_dies)
+            for pm in sample_pms[s * samples : (s + 1) * samples]
+        ]
+    )
+
+    for s in range(num_dies):
+        amp_acc: Dict[int, List[float]] = {t: [] for t in range(num_dies)}
+        sig_acc: Dict[int, List[float]] = {t: [] for t in range(num_dies)}
+        for k in range(samples):
+            pm = sample_pms[s * samples + k]
+            result = sample_results[s * samples + k]
             for t in range(num_dies):
                 rise = result.die_maps[t] - solver.stack.ambient
                 total_rise = float(rise.sum())

@@ -44,6 +44,22 @@ class ThermalNetwork:
     def num_nodes(self) -> int:
         return self.capacitance.size
 
+    @property
+    def grid_shape(self) -> tuple:
+        """Layer-major ``(layers, ny, nx)`` node-numbering shape.
+
+        ``node_index`` below is exactly the raveled index into this box;
+        structured backends (the multigrid stencil coarsener) rely on it.
+        """
+        grid = self.stack.grid
+        return (self.stack.num_layers, grid.ny, grid.nx)
+
+    def factor_hints(self):
+        """Structural hints for the factorization-backend layer."""
+        from .backends.base import FactorHints
+
+        return FactorHints(grid_shape=self.grid_shape)
+
     def node_index(self, layer: int, row: int, col: int) -> int:
         nx, ny = self.stack.grid.nx, self.stack.grid.ny
         return (layer * ny + row) * nx + col

@@ -3,26 +3,32 @@
 Solves ``G T = q + B * T_amb`` for the nodal temperatures of the full 3D
 RC network.  Three levels of reuse keep repeated analyses cheap:
 
-* :class:`SteadyStateSolver` caches the sparse LU factorization of one
-  stack, and :meth:`SteadyStateSolver.solve_many` pushes a whole batch of
-  power-map sets through that single factorization (the Gaussian activity
-  sampling of Sec. 6.2 runs 100 solves — one back-substitution each);
+* :class:`SteadyStateSolver` caches the factorization of one stack, and
+  :meth:`SteadyStateSolver.solve_many` pushes a whole batch of power-map
+  sets through that single factorization (the Gaussian activity sampling
+  of Sec. 6.2 runs 100 solves — one back-substitution each);
 * :class:`WoodburySolver` solves a *locally perturbed* stack — a
   dummy-TSV candidate of the Sec. 6.2 mitigation loop — through the
   unperturbed stack's factorization via the Sherman–Morrison–Woodbury
   identity, skipping the per-candidate refactorization entirely as long
   as the perturbation rank stays below the measured crossover;
 * :class:`SolverCache` memoizes whole solvers keyed by (grid shape, stack
-  configuration, TSV-density digest), so flow runs, verification,
-  exploration studies, and the mitigation loop stop re-assembling and
-  re-factorizing identical networks.
+  configuration, TSV-density digest, factorization backend), so flow
+  runs, verification, exploration studies, and the mitigation loop stop
+  re-assembling and re-factorizing identical networks.
+
+*How* a system is factored lives one layer down, behind the
+:mod:`~repro.thermal.backends` protocol: this module never calls
+``splu``/``spsolve_triangular`` itself, and policy decisions that used
+to sniff factorization types (cache eviction of disk-loaded solvers,
+Woodbury crossover deflation) now read the backend's capability fields
+(``is_persisted``, ``per_rhs_cost_hint``, ``supports_woodbury_base``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,12 +37,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.linalg
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from ..core.faults import fault_fires, fault_point, record_degradation, warn_degraded
+from ..core.faults import fault_fires, record_degradation, warn_degraded
 from ..layout.die import StackConfig
 from ..layout.floorplan import Floorplan3D
 from ..layout.grid import GridSpec
+from .backends import get_backend, resolve_backend
+from .backends.persistence import load_payload, read_legacy_payload, save_payload
+from .backends.superlu import (  # noqa: F401  (compat re-export)
+    PersistedSuperLUFactorization as _PersistedLU,
+)
 from .rc_network import LowRankUpdate, ThermalNetwork, assemble, low_rank_update
 from .stack import ThermalStack, build_stack, normalize_tsv_densities
 
@@ -107,45 +117,6 @@ def _results_from_columns(stack: ThermalStack, t: np.ndarray) -> List[ThermalRes
     ]
 
 
-class _PersistedLU:
-    """A solve operator rebuilt from persisted SuperLU factors.
-
-    ``splu`` objects cannot cross process boundaries, but their ``L``,
-    ``U`` and permutations can (factorized with equilibration disabled,
-    so ``A = Pr^T L U Pc^T`` holds exactly).  A solve is then two sparse
-    triangular substitutions — slower per right-hand side than native
-    SuperLU, but it skips the dominant factorization cost entirely, and
-    batched solves (``solve_many``) amortize the difference away.
-    """
-
-    def __init__(
-        self,
-        L: sp.csr_matrix,
-        U: sp.csr_matrix,
-        perm_r: np.ndarray,
-        perm_c: np.ndarray,
-    ) -> None:
-        self._L = L.tocsr()
-        self._U = U.tocsr()
-        self._perm_r = np.asarray(perm_r, dtype=np.intp)
-        self._perm_c = np.asarray(perm_c, dtype=np.intp)
-
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        rb = np.empty_like(b)
-        rb[self._perm_r] = b
-        y = spla.spsolve_triangular(
-            self._L, rb, lower=True, unit_diagonal=True, overwrite_b=True
-        )
-        x = spla.spsolve_triangular(self._U, y, lower=False, overwrite_b=True)
-        return x[self._perm_c]
-
-
-#: how much slower one persisted-factor back-substitution is than native
-#: SuperLU (measured for the PR 3 disk cache; recorded in ROADMAP) — used
-#: to deflate the Woodbury crossover when the base LU is disk-loaded
-_PERSISTED_LU_RHS_PENALTY = 15
-
-
 def _conductance_digest(matrix: sp.csc_matrix) -> str:
     """Digest of the exact system a factorization solves.
 
@@ -163,62 +134,18 @@ def _conductance_digest(matrix: sp.csc_matrix) -> str:
     return h.hexdigest()
 
 
-def _save_lu(path: Path, lu, conductance_digest: str) -> None:
-    """Persist a (non-equilibrated) SuperLU factorization atomically."""
-    from ..core.store import persist_atomic
-
-    L = lu.L.tocsc()
-    U = lu.U.tocsc()
-
-    def write(tmp: Path) -> str:
-        fault_point("lu.save")
-        np.savez(
-            tmp,
-            L_data=L.data, L_indices=L.indices, L_indptr=L.indptr,
-            U_data=U.data, U_indices=U.indices, U_indptr=U.indptr,
-            perm_r=lu.perm_r, perm_c=lu.perm_c,
-            shape=np.asarray(L.shape, dtype=np.int64),
-            conductance_digest=np.array(conductance_digest),
-        )
-        return str(tmp) + ".npz"  # np.savez appends .npz to the temp name
-
-    persist_atomic(path, write)
-
-
-def _load_lu(path: Path) -> Optional[Tuple[_PersistedLU, str]]:
-    """(persisted factors, conductance digest they were computed for).
-
-    A torn file from a crashed writer can carry a valid zip header with
-    a truncated payload (BadZipFile/EOFError) — any unreadable cache
-    entry means "factorize fresh" (a counted, warned degradation), never
-    a crash mid-sweep.
-    """
-    try:
-        fault_point("lu.load")
-        with np.load(path) as z:
-            shape = tuple(z["shape"])
-            L = sp.csc_matrix((z["L_data"], z["L_indices"], z["L_indptr"]), shape=shape)
-            U = sp.csc_matrix((z["U_data"], z["U_indices"], z["U_indptr"]), shape=shape)
-            digest = str(z["conductance_digest"])
-            return _PersistedLU(L, U, z["perm_r"], z["perm_c"]), digest
-    except FileNotFoundError:
-        return None  # a cold cache is the normal case, not a degradation
-    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
-        warn_degraded(
-            "persisted_lu.load_failed",
-            f"unreadable persisted LU {path.name} ({exc!r}); factorizing fresh",
-        )
-        return None
-
-
 class SteadyStateSolver:
     """Factorized steady-state solver bound to one thermal stack.
 
-    ``reconstructable=True`` factorizes without equilibration so the
-    factors can be persisted and rebuilt in other processes (the matrices
-    here are diagonally dominant, so equilibration is not needed for
-    accuracy); ``lu`` injects an already-persisted factorization instead
-    of computing one.
+    ``backend`` picks the factorization backend (a registry name, a
+    backend instance, or None for the env/auto policy of
+    :func:`~repro.thermal.backends.resolve_backend`).
+    ``reconstructable=True`` asks for a factorization whose factors can
+    be persisted and rebuilt in other processes (the matrices here are
+    diagonally dominant, so the superlu backend simply disables
+    equilibration); ``lu`` injects an already-built
+    :class:`~repro.thermal.backends.base.Factorization` — typically one
+    rebuilt from disk — instead of computing one.
     """
 
     def __init__(
@@ -227,17 +154,49 @@ class SteadyStateSolver:
         reconstructable: bool = False,
         lu=None,
         network: ThermalNetwork | None = None,
+        backend=None,
     ) -> None:
         self.stack = stack
         self.network: ThermalNetwork = (
             network if network is not None else assemble(stack)
         )
+        hints = self.network.factor_hints()
         if lu is not None:
-            self._lu = lu
-        elif reconstructable:
-            self._lu = spla.splu(self.network.conductance, options=dict(Equil=False))
+            self._fact = lu
+            if backend is not None:
+                self.backend = resolve_backend(backend, hints=hints)
+            else:
+                # bind to the factorization's own backend without the
+                # availability fallback: the injected factors already
+                # solve here, whatever libraries this host has
+                try:
+                    self.backend = get_backend(
+                        getattr(lu, "backend_name", "superlu")
+                    )
+                except ValueError:
+                    self.backend = get_backend("superlu")
         else:
-            self._lu = spla.splu(self.network.conductance)
+            self.backend = resolve_backend(backend, hints=hints)
+            self._fact = self.backend.factor(
+                self.network.conductance,
+                reconstructable=reconstructable,
+                hints=hints,
+            )
+
+    @property
+    def factorization(self):
+        """The backing :class:`~repro.thermal.backends.base.Factorization`."""
+        return self._fact
+
+    @property
+    def _lu(self):
+        # historical name for the factorization handle; several external
+        # callers (and the Woodbury internals' tests) solve through it
+        return self._fact
+
+    @property
+    def backend_name(self) -> str:
+        return getattr(self._fact, "backend_name", self.backend.name)
 
     def _split(self, t: np.ndarray) -> List[np.ndarray]:
         return _split_die_maps(self.stack, t)
@@ -245,13 +204,13 @@ class SteadyStateSolver:
     def solve(self, power_maps: Sequence[np.ndarray]) -> ThermalResult:
         """Solve for the given per-die power maps (W per cell)."""
         q = _rhs_vector(self.network, self.stack.ambient, power_maps)
-        t = self._lu.solve(q)
+        t = self._fact.solve(q)
         return ThermalResult(die_maps=self._split(t), nodal=t)
 
     def solve_many(
         self, power_map_sets: Sequence[Sequence[np.ndarray]]
     ) -> List[ThermalResult]:
-        """Solve a batch of power-map sets against one LU factorization.
+        """Solve a batch of power-map sets against one factorization.
 
         All right-hand sides are assembled into one (N, k) matrix and
         back-substituted in a single call — for the 100-sample activity
@@ -262,7 +221,7 @@ class SteadyStateSolver:
         if not sets:
             return []
         q = _rhs_matrix(self.network, self.stack.ambient, sets)
-        t = self._lu.solve(q)
+        t = self._fact.solve_many(q)
         return _results_from_columns(self.stack, t)
 
 
@@ -270,9 +229,10 @@ class SteadyStateSolver:
 # tools/measure_woodbury_crossover.py on the reference container over the
 # real assembled networks (16x16 .. 64x64 grids): the rank at which the
 # batched Z = G⁻¹·U back-substitution costs as much as a fresh
-# factorization follows the power law below.  Re-run the tool and update
-# these two coefficients when the solver stack or hardware changes;
-# REPRO_WOODBURY_CROSSOVER overrides the whole model with a fixed rank.
+# factorization follows the power law below.  Re-run the tool (it now
+# reports per-backend fits too) and update these two coefficients when
+# the solver stack or hardware changes; REPRO_WOODBURY_CROSSOVER
+# overrides the whole model with a fixed rank.
 _CROSSOVER_COEFFICIENT = 3.39
 _CROSSOVER_EXPONENT = 0.421
 #: fraction of the measured break-even rank at which we still prefer the
@@ -286,7 +246,9 @@ def woodbury_crossover_rank(num_nodes: int) -> int:
     The measured break-even point (see the module constants above) times
     a safety factor.  ``REPRO_WOODBURY_CROSSOVER`` pins an explicit rank
     instead, for experiments and for machines with very different
-    factorization/back-substitution cost ratios.
+    factorization/back-substitution cost ratios.  The returned rank
+    assumes native-SuperLU per-RHS cost; :class:`WoodburySolver` scales
+    it by its base factorization's ``per_rhs_cost_hint``.
     """
     raw = os.environ.get("REPRO_WOODBURY_CROSSOVER")
     if raw is not None:
@@ -318,12 +280,20 @@ class WoodburySolver:
     base back-substitution plus dense corrections — no factorization of
     ``G'`` ever happens on this path.
 
-    Two guards fall back to a plain full factorization (the behaviour is
-    then bit-identical to a fresh :class:`SteadyStateSolver`):
+    Three guards fall back to a plain full factorization (the behaviour
+    is then bit-identical to a fresh :class:`SteadyStateSolver` on the
+    base's backend):
 
+    * the base factorization opts out of serving as a Woodbury base
+      (``supports_woodbury_base=False`` — iterative backends whose
+      approximate solves would compound through the dense core);
     * ``rank > crossover_rank`` — the batched Z solve would cost more
       than refactorizing; the default crossover is *measured*, not
-      guessed (:func:`woodbury_crossover_rank`);
+      guessed (:func:`woodbury_crossover_rank`), and is scaled by the
+      base factorization's ``per_rhs_cost_hint`` (a disk-rebuilt superlu
+      base solves each RHS ~15x slower than native, so its Z setup
+      breaks even that much earlier; a cholmod base, faster per RHS,
+      stretches the crossover the other way);
     * the probe residual check fails — one deterministic RHS is solved
       through the Woodbury path and verified against ``G'`` directly, so
       an ill-conditioned core (a nearly singular ``I + C·W``) is caught
@@ -367,26 +337,31 @@ class WoodburySolver:
         self._z: Optional[np.ndarray] = None
         self._core_lu = None
 
+        base_fact = base.factorization
         if crossover_rank is None:
             crossover_rank = woodbury_crossover_rank(self.network.num_nodes)
-            if isinstance(base._lu, _PersistedLU):
-                # the crossover was measured against native SuperLU
-                # back-substitution; persisted factors solve each RHS
-                # ~15x slower (see ROADMAP), so the rank-r Z setup
-                # breaks even that much earlier
-                crossover_rank = max(1, crossover_rank // _PERSISTED_LU_RHS_PENALTY)
+            # the crossover was measured against native SuperLU
+            # back-substitution; scale by the base backend's own
+            # per-RHS cost so e.g. persisted factors (hint ~15) break
+            # even proportionally earlier
+            hint = float(getattr(base_fact, "per_rhs_cost_hint", 1.0))
+            if hint > 0.0 and hint != 1.0:
+                crossover_rank = max(1, int(crossover_rank / hint))
         self.crossover_rank = crossover_rank
 
         rank = self.update.rank
         if rank == 0:
             return  # identical network; base solves are already exact
+        if not getattr(base_fact, "supports_woodbury_base", True):
+            self._fall_back("unsupported-base")
+            return
         if rank > crossover_rank:
             self._fall_back("rank")
             return
         indices = self.update.indices
         selection = np.zeros((self.network.num_nodes, rank))
         selection[indices, np.arange(rank)] = 1.0
-        z = self.base._lu.solve(selection)
+        z = base_fact.solve_many(selection)
         core_system = np.eye(rank) + self.update.core @ z[indices, :]
         if fault_fires("woodbury.singular_core"):
             # chaos hook: make the core exactly singular so the LinAlg
@@ -415,11 +390,13 @@ class WoodburySolver:
     def _fall_back(self, reason: str) -> None:
         self.fallback_reason = reason
         record_degradation(f"woodbury.fallback.{reason}")
-        self._full = SteadyStateSolver(self.stack, network=self.network)
+        self._full = SteadyStateSolver(
+            self.stack, network=self.network, backend=self.base.backend.name
+        )
 
     @property
     def is_low_rank(self) -> bool:
-        """Whether solves go through the base LU (vs the fallback's own)."""
+        """Whether solves go through the base factors (vs the fallback's own)."""
         return self._full is None
 
     def rebase(self) -> SteadyStateSolver:
@@ -431,7 +408,9 @@ class WoodburySolver:
         accumulated past the crossover.
         """
         if self._full is None:
-            self._full = SteadyStateSolver(self.stack, network=self.network)
+            self._full = SteadyStateSolver(
+                self.stack, network=self.network, backend=self.base.backend.name
+            )
         # solves route through the full factorization from here on; the
         # dense Z block (N x rank) and core factors are dead weight
         self._z = None
@@ -448,7 +427,7 @@ class WoodburySolver:
 
     def _apply(self, q: np.ndarray) -> np.ndarray:
         """Woodbury-corrected ``G'⁻¹ q`` for an (N, k) RHS block."""
-        x0 = self.base._lu.solve(q)
+        x0 = self.base.factorization.solve_many(q)
         if self._z is None:
             return x0  # rank-0 update
         y = scipy.linalg.lu_solve(
@@ -481,16 +460,44 @@ class WoodburySolver:
 def _solves_through_persisted_factors(solver) -> bool:
     """Whether this cache entry's solves route through persisted factors.
 
-    True for solvers rebuilt from disk (``_PersistedLU``) and for
-    low-rank Woodbury entries whose *base* is such a solver — both pay
-    the slow triangular-substitution path on every solve.  A fallen-back
-    Woodbury entry solves through its own native factorization and is
-    fine to keep.
+    A pure capability query now: true when the solver's factorization
+    reports ``is_persisted`` (rebuilt from disk, paying the slow
+    substitution path on every solve), and for low-rank Woodbury entries
+    whose *base* factorization does.  A fallen-back Woodbury entry
+    solves through its own native factorization and is fine to keep —
+    as is a native (e.g. cholmod) factorization that merely *can* be
+    persisted.
     """
-    if isinstance(getattr(solver, "_lu", None), _PersistedLU):
+    fact = getattr(solver, "factorization", None)
+    if fact is not None and getattr(fact, "is_persisted", False):
         return True
     if isinstance(solver, WoodburySolver) and solver.is_low_rank:
-        return isinstance(solver.base._lu, _PersistedLU)
+        return bool(
+            getattr(solver.base.factorization, "is_persisted", False)
+        )
+    return False
+
+
+def _self_check_ok(fact, network: ThermalNetwork) -> bool:
+    """Residual-verify a rebuilt factorization against the live matrix.
+
+    Only runs for factorizations that request it (``needs_self_check``,
+    e.g. rebuilt Cholesky factors whose permutation convention crossed a
+    library boundary).  One deterministic RHS; a failure is a counted
+    degradation and the caller refactorizes fresh.
+    """
+    if not getattr(fact, "needs_self_check", False):
+        return True
+    probe = network.boundary * network.stack.ambient + 1.0
+    x = fact.solve(probe)
+    residual = float(np.abs(network.conductance @ x - probe).max())
+    if residual <= 1e-6 * max(float(np.abs(probe).max()), 1.0):
+        return True
+    warn_degraded(
+        "persisted_factor.self_check_failed",
+        f"persisted {getattr(fact, 'backend_name', '?')} factors failed "
+        f"the residual self-check (|r|={residual:.2e}); factorizing fresh",
+    )
     return False
 
 
@@ -516,25 +523,36 @@ class SolverCache:
     """LRU cache of :class:`SteadyStateSolver` instances.
 
     Keyed by (stack config, grid, TSV-density digest per die pair, extra
-    stack kwargs).  Identical networks are factorized exactly once; the
-    density digest makes reuse safe even when callers rebuild density
-    maps from scratch each time.
+    stack kwargs, resolved backend name).  Identical networks are
+    factorized exactly once per backend; the density digest makes reuse
+    safe even when callers rebuild density maps from scratch each time,
+    and the backend component keeps e.g. a superlu oracle solver and a
+    multigrid solver of the same network from shadowing each other.
 
     With ``disk_dir`` set, factorizations additionally persist to (and
     load from) that directory, so *other processes* — e.g. the workers of
     a :func:`~repro.exploration.study.run_batch` sweep — skip the
     factorization of any stack some worker has already seen.  Loaded
-    solvers back-substitute through persisted triangular factors (see
-    :class:`_PersistedLU`): slower per solve than native SuperLU, so the
-    disk layer pays off for factorization-dominated workloads (exactly
-    the warm-up of pool workers), which is why it is opt-in.
+    solvers back-substitute through persisted factors (see the backend
+    package): slower per solve than a native factorization, so the disk
+    layer pays off for factorization-dominated workloads (exactly the
+    warm-up of pool workers), which is why it is opt-in.  Backends that
+    cannot persist (multigrid) simply skip the disk layer.  On-disk
+    files are versioned (``fact-*.npz``, format 2); v1 ``lu-*.npz``
+    files from older revisions are migrated in place on first touch.
     """
 
-    def __init__(self, maxsize: int = 8, disk_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        maxsize: int = 8,
+        disk_dir: str | Path | None = None,
+        backend=None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError("cache needs room for at least one solver")
         self.maxsize = maxsize
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.backend = backend
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
@@ -554,9 +572,11 @@ class SolverCache:
 
         The serial batch path temporarily points the process-global cache
         at a disk directory; solvers loaded there back-substitute through
-        :class:`_PersistedLU` (slower per RHS than native SuperLU) and
-        must not keep serving later same-process callers.  Returns the
-        number of evicted entries.
+        rebuilt factors (slower per RHS than a native factorization) and
+        must not keep serving later same-process callers.  Eviction is
+        driven by the factorization's ``is_persisted`` capability flag —
+        a native cholmod/superlu entry that merely *could* persist stays.
+        Returns the number of evicted entries.
         """
         stale = [
             key
@@ -572,12 +592,18 @@ class SolverCache:
         """Filename-safe digest of a cache key (all parts have stable reprs)."""
         return hashlib.sha1(repr(key).encode()).hexdigest()
 
+    def _resolve_backend(self, grid: GridSpec):
+        return resolve_backend(
+            self.backend, cells_per_layer=grid.nx * grid.ny
+        )
+
     def _key(
         self,
         stack_cfg: StackConfig,
         grid: GridSpec,
         densities: Dict[Tuple[int, int], np.ndarray],
         stack_kwargs: dict,
+        backend_name: str,
     ) -> tuple:
         density_key = tuple(
             (pair, _digest_array(arr)) for pair, arr in sorted(densities.items())
@@ -585,7 +611,7 @@ class SolverCache:
         kwargs_key = tuple(
             sorted((k, _freeze_value(v)) for k, v in stack_kwargs.items())
         )
-        return (stack_cfg, grid, density_key, kwargs_key)
+        return (stack_cfg, grid, density_key, kwargs_key, backend_name)
 
     def solver(
         self,
@@ -599,13 +625,14 @@ class SolverCache:
         A cached incremental entry (:class:`WoodburySolver`) is upgraded
         to its own factorization before being returned: callers of this
         method — verification, oracle paths, attack models — rely on a
-        solve that is independent of any base LU, so handing them a
+        solve that is independent of any base factors, so handing them a
         Woodbury entry would quietly defeat e.g. an incremental-vs-full
         cross-check.  The upgrade replaces the cache entry, so it is
         paid at most once per network.
         """
         densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
-        key = self._key(stack_cfg, grid, densities, stack_kwargs)
+        backend = self._resolve_backend(grid)
+        key = self._key(stack_cfg, grid, densities, stack_kwargs, backend.name)
         solver = self._entries.get(key)
         if solver is not None:
             self.hits += 1
@@ -618,13 +645,14 @@ class SolverCache:
                     # so the factorization is persisted (or loaded) and
                     # the shared cache does not depend on request order
                     solver = self._full_solver(
-                        key, solver.stack, network=solver.network
+                        key, solver.stack, network=solver.network,
+                        backend=backend,
                     )
                 self._entries[key] = solver
             return solver
         self.misses += 1
         stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
-        solver = self._full_solver(key, stack)
+        solver = self._full_solver(key, stack, backend=backend)
         self._entries[key] = solver
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -635,29 +663,51 @@ class SolverCache:
         key: tuple,
         stack: ThermalStack,
         network: ThermalNetwork | None = None,
+        backend=None,
     ) -> SteadyStateSolver:
         """A full solver for this stack, through the disk layer if enabled."""
-        if self.disk_dir is None:
-            return SteadyStateSolver(stack, network=network)
+        if backend is None:
+            backend = self._resolve_backend(stack.grid)
+        if self.disk_dir is None or not backend.supports_persistence:
+            return SteadyStateSolver(stack, network=network, backend=backend)
         self.disk_dir.mkdir(parents=True, exist_ok=True)
-        path = self.disk_dir / f"lu-{self._digest_key(key)}.npz"
-        loaded = _load_lu(path)
-        if loaded is not None:
-            lu, stored_digest = loaded
-            candidate = SteadyStateSolver(stack, lu=lu, network=network)
-            if _conductance_digest(candidate.network.conductance) == stored_digest:
+        path = self.disk_dir / f"fact-{self._digest_key(key)}.npz"
+        payload = load_payload(path)
+        if payload is None and not path.exists():
+            # v1 files predate the backend key component; upgrade any
+            # matching legacy file in place and adopt it if possible
+            legacy = self.disk_dir / f"lu-{self._digest_key(key[:-1])}.npz"
+            payload = read_legacy_payload(legacy, path)
+        if payload is not None and backend.accepts_payload(payload):
+            fact = backend.factorization_from_payload(payload)
+            candidate = SteadyStateSolver(
+                stack, lu=fact, network=network, backend=backend
+            )
+            stored_digest = str(payload.get("conductance_digest", ""))
+            digest = _conductance_digest(candidate.network.conductance)
+            if digest == stored_digest and _self_check_ok(
+                fact, candidate.network
+            ):
                 self.disk_hits += 1
                 return candidate
-            # factors of an older network revision: drop them so the
-            # fresh factorization below can re-persist
-            record_degradation("persisted_lu.stale_digest")
+            if digest != stored_digest:
+                # factors of an older network revision: drop them so the
+                # fresh factorization below can re-persist
+                record_degradation("persisted_lu.stale_digest")
             path.unlink(missing_ok=True)
+            network = candidate.network
         elif path.exists():
-            # unreadable (torn/foreign) file: heal it, or the
-            # existing-file check would block re-persisting forever
+            # unreadable (torn/foreign) or unadoptable file: heal it, or
+            # the existing-file check would block re-persisting forever
             path.unlink(missing_ok=True)
-        solver = SteadyStateSolver(stack, reconstructable=True, network=network)
-        _save_lu(path, solver._lu, _conductance_digest(solver.network.conductance))
+        solver = SteadyStateSolver(
+            stack, reconstructable=True, network=network, backend=backend
+        )
+        disk_payload = backend.payload_from(solver.factorization)
+        disk_payload["conductance_digest"] = np.array(
+            _conductance_digest(solver.network.conductance)
+        )
+        save_payload(path, disk_payload)
         return solver
 
     def solver_for_floorplan(
@@ -690,7 +740,8 @@ class SolverCache:
         factorization of their own).
         """
         densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
-        key = self._key(stack_cfg, grid, densities, stack_kwargs)
+        backend = self._resolve_backend(grid)
+        key = self._key(stack_cfg, grid, densities, stack_kwargs, backend.name)
         solver = self._entries.get(key)
         if solver is not None:
             self.hits += 1

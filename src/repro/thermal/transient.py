@@ -27,8 +27,8 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
+from .backends import resolve_backend
 from .rc_network import ThermalNetwork, assemble
 from .stack import ThermalStack
 
@@ -52,12 +52,22 @@ class TransientTrace:
 class TransientSolver:
     """Backward-Euler integrator bound to one thermal stack."""
 
-    def __init__(self, stack: ThermalStack, max_cached_steps: int = 4) -> None:
+    def __init__(
+        self,
+        stack: ThermalStack,
+        max_cached_steps: int = 4,
+        backend=None,
+    ) -> None:
         self.stack = stack
         self.network: ThermalNetwork = assemble(stack)
         if max_cached_steps < 1:
             raise ValueError("need room for at least one step factorization")
         self._max_cached_steps = max_cached_steps
+        #: the step matrix C/dt + G is SPD with the same 7-point stencil
+        #: as G itself, so every thermal backend (cholmod, multigrid)
+        #: applies; the same env/auto policy as steady state decides
+        self._hints = self.network.factor_hints()
+        self.backend = resolve_backend(backend, hints=self._hints)
         #: LRU of step-matrix factorizations keyed by dt
         self._lus: "OrderedDict[float, object]" = OrderedDict()
         grid = stack.grid
@@ -76,7 +86,9 @@ class TransientSolver:
             self._lus.move_to_end(dt)
             return lu
         c_over_dt = sp.diags(self.network.capacitance / dt)
-        lu = spla.splu((c_over_dt + self.network.conductance).tocsc())
+        lu = self.backend.factor(
+            (c_over_dt + self.network.conductance).tocsc(), hints=self._hints
+        )
         self._lus[dt] = lu
         while len(self._lus) > self._max_cached_steps:
             self._lus.popitem(last=False)
@@ -213,7 +225,7 @@ class TransientSolver:
             for b, fn in enumerate(fns):
                 q[:, b] = net.power_vector(list(fn(t_now)))
             rhs = c_over_dt[:, None] * temp + q + ambient_q[:, None]
-            temp = lu.solve(rhs)
+            temp = lu.solve_many(rhs)
             times[step] = t_now
             block = temp[self._die_nodes]  # (dies, cells, traces)
             die_means[:, step, :] = block.mean(axis=1).T

@@ -588,7 +588,7 @@ class TestPersistedLUDegradation:
         grid = GridSpec(cfg.outline, 8, 8)
         warm = SolverCache(disk_dir=tmp_path)
         solver = warm.solver(cfg, grid)
-        files = list(tmp_path.glob("lu-*.npz"))
+        files = list(tmp_path.glob("fact-*.npz"))
         assert len(files) == 1
         return cfg, grid, solver, files[0]
 
@@ -631,7 +631,7 @@ class TestPersistedLUDegradation:
         with injected("lu.save=enospc"):
             solver = SolverCache(disk_dir=tmp_path).solver(cfg, grid)
         assert faults.degradations_since(before)["persist.write_failed"] >= 1
-        assert not list(tmp_path.glob("lu-*.npz"))  # nothing half-written
+        assert not list(tmp_path.glob("fact-*.npz"))  # nothing half-written
         pm = [np.full(grid.shape, 0.001) for _ in range(2)]
         assert np.allclose(
             solver.solve(pm).nodal, oracle_solver.solve(pm).nodal, rtol=1e-9

@@ -278,7 +278,7 @@ class TestPersistedSolverCache:
         warmer = SolverCache(disk_dir=tmp_path)
         warm_solver = warmer.solver(cfg, grid)
         assert warmer.disk_hits == 0
-        assert list(tmp_path.glob("lu-*.npz"))
+        assert list(tmp_path.glob("fact-*.npz"))
 
         fresh = SolverCache(disk_dir=tmp_path)  # simulates another process
         loaded = fresh.solver(cfg, grid)
@@ -300,7 +300,7 @@ class TestPersistedSolverCache:
         cfg = StackConfig.square(1500.0)
         grid = GridSpec(cfg.outline, 8, 8)
         SolverCache(disk_dir=tmp_path).solver(cfg, grid)
-        (path,) = tmp_path.glob("lu-*.npz")
+        (path,) = tmp_path.glob("fact-*.npz")
         if corruption == "garbage":
             path.write_bytes(b"not an npz file")
         else:
@@ -333,12 +333,10 @@ class TestPersistedSolverCache:
         system."""
         import numpy as _np
 
-        from repro.thermal import steady_state as ss
-
         cfg = StackConfig.square(1500.0)
         grid = GridSpec(cfg.outline, 8, 8)
         SolverCache(disk_dir=tmp_path).solver(cfg, grid)
-        (path,) = tmp_path.glob("lu-*.npz")
+        (path,) = tmp_path.glob("fact-*.npz")
         # simulate a code revision changing the assembled conductance:
         # rewrite the stored digest so it no longer matches
         with _np.load(path) as z:
@@ -350,18 +348,16 @@ class TestPersistedSolverCache:
         fresh = SolverCache(disk_dir=tmp_path)
         solver = fresh.solver(cfg, grid)
         assert fresh.disk_hits == 0  # stale factors rejected
-        assert not isinstance(solver._lu, ss._PersistedLU)
+        assert not solver.factorization.is_persisted
         assert path.stat().st_mtime_ns != before  # re-persisted fresh
 
     def test_drop_persisted_solvers_and_clear_stats(self, tmp_path):
-        from repro.thermal import steady_state as ss
-
         cfg = StackConfig.square(1500.0)
         grid = GridSpec(cfg.outline, 8, 8)
         SolverCache(disk_dir=tmp_path).solver(cfg, grid)
         cache = SolverCache(disk_dir=tmp_path)
         solver = cache.solver(cfg, grid)
-        assert isinstance(solver._lu, ss._PersistedLU)
+        assert solver.factorization.is_persisted
         assert cache.disk_hits == 1
         assert cache.drop_persisted_solvers() == 1
         assert len(cache) == 0

@@ -2,23 +2,31 @@
 """Measure the Woodbury-vs-refactorize crossover rank of this machine.
 
 A :class:`~repro.thermal.steady_state.WoodburySolver` pays one batched
-``rank``-column back-substitution against the base LU (building
-``Z = G⁻¹·U``) where a fresh solver pays one full factorization.  The
-crossover rank — the update rank at which both cost the same — is
-therefore ``t_factorize / t_per_rhs``, and it grows with the network
-size because factorization cost grows faster than triangular-solve cost.
+``rank``-column back-substitution against the base factorization
+(building ``Z = G⁻¹·U``) where a fresh solver pays one full
+factorization.  The crossover rank — the update rank at which both cost
+the same — is therefore ``t_factorize / t_per_rhs``, and it grows with
+the network size because factorization cost grows faster than
+triangular-solve cost.
 
 This script times both on the real assembled thermal networks over a
-range of grids, fits the power law ``crossover ≈ a · N^b``, and prints
-the coefficients that :func:`repro.thermal.steady_state.
-woodbury_crossover_rank` should carry (the committed defaults record a
-run of this script; re-run it when the solver stack or the reference
-hardware changes).
+range of grids, **per factorization backend**, fits the power law
+``crossover ≈ a · N^b`` for each, and prints:
+
+* the coefficients that :func:`repro.thermal.steady_state.
+  woodbury_crossover_rank` should carry for the reference (superlu)
+  backend — the committed defaults record a run of this script; re-run
+  it when the solver stack or the reference hardware changes;
+* each other backend's measured per-RHS cost relative to superlu — the
+  number its ``per_rhs_cost_hint`` class attribute should carry, since
+  the solver layer deflates/stretches the superlu crossover by exactly
+  that hint instead of keeping one fit per backend.
 
 Usage::
 
     PYTHONPATH=src python tools/measure_woodbury_crossover.py
-    PYTHONPATH=src python tools/measure_woodbury_crossover.py --grids 16 32 64
+    PYTHONPATH=src python tools/measure_woodbury_crossover.py \\
+        --grids 16 32 64 --backends superlu compiled_triangular
 """
 
 from __future__ import annotations
@@ -27,29 +35,32 @@ import argparse
 import time
 
 import numpy as np
-import scipy.sparse.linalg as spla
 
 from repro.benchmarks import load
 from repro.layout.grid import GridSpec
+from repro.thermal.backends import BACKEND_NAMES, get_backend
 from repro.thermal.rc_network import assemble
 from repro.thermal.stack import build_stack
 
 
-def time_network(stack_cfg, grid_n: int, rhs_batch: int, repeats: int) -> tuple:
-    """(num_nodes, factorization seconds, per-RHS back-substitution seconds)."""
+def time_network(
+    backend, stack_cfg, grid_n: int, rhs_batch: int, repeats: int
+) -> tuple:
+    """(num_nodes, factorization seconds, per-RHS solve seconds)."""
     grid = GridSpec(stack_cfg.outline, grid_n, grid_n)
     network = assemble(build_stack(stack_cfg, grid))
     conductance = network.conductance
+    hints = network.factor_hints()
     t_fact = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        lu = spla.splu(conductance)
+        fact = backend.factor(conductance, hints=hints)
         t_fact = min(t_fact, time.perf_counter() - t0)
     rhs = np.random.default_rng(0).random((conductance.shape[0], rhs_batch))
     t_solve = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        lu.solve(rhs)
+        fact.solve_many(rhs)
         t_solve = min(t_solve, time.perf_counter() - t0)
     return conductance.shape[0], t_fact, t_solve / rhs_batch
 
@@ -63,33 +74,52 @@ def main(argv=None) -> int:
                              "of a realistic candidate's Z computation)")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--benchmark", default="n100")
+    parser.add_argument("--backends", nargs="+", default=["superlu"],
+                        choices=list(BACKEND_NAMES),
+                        help="backends to measure; unavailable ones are "
+                             "skipped with a note (superlu first is "
+                             "recommended — it anchors the hint ratios)")
     args = parser.parse_args(argv)
 
     _, stack_cfg = load(args.benchmark)
-    sizes, crossovers = [], []
-    print(f"{'grid':>5} {'nodes':>7} {'factorize':>10} {'per-RHS':>9} {'crossover':>9}")
-    for grid_n in args.grids:
-        n, t_fact, t_rhs = time_network(
-            stack_cfg, grid_n, args.rhs_batch, args.repeats
-        )
-        crossover = t_fact / t_rhs
-        sizes.append(n)
-        crossovers.append(crossover)
-        print(f"{grid_n:>5} {n:>7} {t_fact * 1e3:>8.1f}ms {t_rhs * 1e3:>7.3f}ms "
-              f"{crossover:>9.0f}")
+    reference_rhs: dict = {}  # (grid_n) -> superlu per-RHS seconds
+    for backend_name in args.backends:
+        backend = get_backend(backend_name)
+        if not backend.available():
+            print(f"\n== {backend_name}: unavailable here "
+                  f"({backend.unavailable_reason()}); skipped ==")
+            continue
+        print(f"\n== {backend_name} ==")
+        sizes, crossovers, hint_ratios = [], [], []
+        print(f"{'grid':>5} {'nodes':>7} {'factorize':>10} {'per-RHS':>9} "
+              f"{'crossover':>9}")
+        for grid_n in args.grids:
+            n, t_fact, t_rhs = time_network(
+                backend, stack_cfg, grid_n, args.rhs_batch, args.repeats
+            )
+            crossover = t_fact / t_rhs
+            sizes.append(n)
+            crossovers.append(crossover)
+            if backend_name == "superlu":
+                reference_rhs[grid_n] = t_rhs
+            elif grid_n in reference_rhs:
+                hint_ratios.append(t_rhs / reference_rhs[grid_n])
+            print(f"{grid_n:>5} {n:>7} {t_fact * 1e3:>8.1f}ms "
+                  f"{t_rhs * 1e3:>7.3f}ms {crossover:>9.0f}")
 
-    log_n = np.log(np.asarray(sizes, dtype=float))
-    log_c = np.log(np.asarray(crossovers, dtype=float))
-    exponent, log_a = np.polyfit(log_n, log_c, 1)
-    coefficient = float(np.exp(log_a))
-    print(f"\nfit: crossover ≈ {coefficient:.3f} · N^{exponent:.3f}")
-    print("predicted crossover per grid:")
-    for grid_n, n in zip(args.grids, sizes):
-        print(f"  {grid_n:>3}x{grid_n:<3} (N={n:>6}): "
-              f"{coefficient * n ** exponent:6.0f}")
-    print("\nupdate _CROSSOVER_COEFFICIENT / _CROSSOVER_EXPONENT in "
-          "src/repro/thermal/steady_state.py with these values "
-          "(and record the run in ROADMAP.md)")
+        log_n = np.log(np.asarray(sizes, dtype=float))
+        log_c = np.log(np.asarray(crossovers, dtype=float))
+        exponent, log_a = np.polyfit(log_n, log_c, 1)
+        coefficient = float(np.exp(log_a))
+        print(f"fit: crossover ≈ {coefficient:.3f} · N^{exponent:.3f}")
+        if backend_name == "superlu":
+            print("update _CROSSOVER_COEFFICIENT / _CROSSOVER_EXPONENT in "
+                  "src/repro/thermal/steady_state.py with these values "
+                  "(and record the run in ROADMAP.md)")
+        elif hint_ratios:
+            print(f"per-RHS cost vs superlu: median "
+                  f"{float(np.median(hint_ratios)):.2f}x — candidate "
+                  f"per_rhs_cost_hint for this backend's factorizations")
     return 0
 
 
