@@ -521,6 +521,62 @@ def test_solver_cache_cold_factorize(benchmark, n100_state):
     benchmark(cold_worker)
 
 
+# -- serial vs parallel-tempered annealing at equal move budget -------------------
+#
+# The whole-loop kernels behind the tempering layer's claim: R replicas
+# advancing iterations/R moves each across R cores must beat one serial
+# chain over the full budget on wall-clock.  The committed baseline gates
+# the tempered/serial ratio at >= 2x on the 4-core CI runner (see
+# check_bench_regression.py); the serial kernel is additionally tracked
+# against its own baseline like any other hot path.
+
+
+_ANNEAL_BUDGET = 1000
+_ANNEAL_CFG = dict(seed=0, grid_nx=16, grid_ny=16, calibration_samples=8)
+
+
+@pytest.fixture(scope="module")
+def anneal_bench_setup(n100_state):
+    from repro.floorplan.objectives import calibrated_thermal_model
+
+    circ, stack, _ = n100_state
+    # pre-warm the calibrated fast-thermal model for this (stack, grid) so
+    # neither kernel pays the detailed-solver calibration in the timed
+    # region (workers inherit it warm via the chain's evaluator pickle)
+    calibrated_thermal_model(stack, GridSpec(stack.outline, 16, 16))
+    return circ, stack
+
+
+def test_anneal_serial_n100(benchmark, anneal_bench_setup):
+    from repro.floorplan.annealer import AnnealConfig, anneal
+
+    circ, stack = anneal_bench_setup
+    cfg = AnnealConfig(iterations=_ANNEAL_BUDGET, **_ANNEAL_CFG)
+
+    def serial():
+        return anneal(circ.modules, stack, circ.nets, circ.terminals, config=cfg)
+
+    benchmark.pedantic(serial, rounds=1, iterations=1)
+
+
+def test_anneal_tempered_4replica_n100(benchmark, anneal_bench_setup):
+    import os
+
+    from repro.floorplan.annealer import AnnealConfig
+    from repro.floorplan.tempering import temper
+
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("tempered-vs-serial ratio needs >= 4 cores")
+    circ, stack = anneal_bench_setup
+    cfg = AnnealConfig(iterations=_ANNEAL_BUDGET, **_ANNEAL_CFG)
+
+    def tempered():
+        return temper(circ.modules, stack, circ.nets, circ.terminals,
+                      config=cfg, replicas=4, exchange_every=50, processes=4)
+
+    benchmark.pedantic(tempered, rounds=1, iterations=1)
+
+
 # -- vectorized local correlation map -------------------------------------------
 
 

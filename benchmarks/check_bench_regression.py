@@ -60,6 +60,7 @@ TRACKED = [
     "test_persisted_rhs_scipy_64",
     "test_persisted_rhs_compiled_64",
     "test_mitigation_candidate_woodbury_compiled_64",
+    "test_anneal_serial_n100",
 ]
 
 #: paired-kernel speedup floors, checked within one run (so they are
@@ -91,6 +92,15 @@ RATIO_GATES = [
         "fast": "test_mitigation_candidate_woodbury_cholmod_64",
         "slow": "test_mitigation_candidate_refactorize_64",
         "min_ratio": 3.0,
+    },
+    # parallel tempering at equal total move budget: 4 replicas across 4
+    # cores must beat the serial chain's wall-clock (the tempered kernel
+    # skips itself below 4 cores, so single-core spot checks skip the
+    # gate rather than fail it)
+    {
+        "fast": "test_anneal_tempered_4replica_n100",
+        "slow": "test_anneal_serial_n100",
+        "min_ratio": 2.0,
     },
 ]
 

@@ -70,6 +70,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         mode=mode,
         anneal=AnnealConfig(iterations=args.iterations, seed=args.seed),
         verify_nx=args.grid, verify_ny=args.grid,
+        replicas=args.replicas, exchange_every=args.exchange_every,
+        replica_processes=args.replica_processes,
     )
     if args.no_incremental:
         config = replace(
@@ -77,6 +79,10 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         )
     outcome = run_flow(circuit, stack, config)
     print(f"[{args.benchmark} / {mode}]")
+    if config.replicas > 1:
+        res = outcome.anneal_result
+        print(f"  replicas={res.replicas}  exchange_every={config.exchange_every}  "
+              f"swaps={res.exchange_accepts}/{res.exchange_attempts}")
     _print_metrics(outcome.metrics)
     if outcome.mitigation is not None:
         mit = outcome.mitigation
@@ -117,6 +123,8 @@ def _build_jobs(args: argparse.Namespace) -> list:
             seed=seed,
             iterations=args.iterations,
             grid=args.grid,
+            replicas=args.replicas,
+            exchange_every=args.exchange_every,
         )
         for mode in args.modes
         for bench in args.benchmarks
@@ -332,6 +340,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--iterations", type=int, default=1500)
     p_flow.add_argument("--seed", type=int, default=0)
     p_flow.add_argument("--grid", type=int, default=32)
+    p_flow.add_argument("--replicas", type=int, default=1,
+                        help="parallel-tempering replicas for the annealing "
+                             "stage (1 = plain single-chain SA); the total "
+                             "move budget (--iterations) is split across "
+                             "replicas")
+    p_flow.add_argument("--exchange-every", type=int, default=50,
+                        help="moves each replica advances between "
+                             "replica-exchange attempts")
+    p_flow.add_argument("--replica-processes", type=int, default=None,
+                        help="worker processes for the replica pool "
+                             "(default: min(replicas, cpu count))")
     p_flow.add_argument("--no-incremental", action="store_true",
                         help="refactorize every mitigation candidate stack "
                              "instead of solving them through the round's "
@@ -356,6 +375,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="runs per (benchmark, mode), seeded 0..N-1")
         p.add_argument("--iterations", type=int, default=1500)
         p.add_argument("--grid", type=int, default=32)
+        p.add_argument("--replicas", type=int, default=1,
+                       help="parallel-tempering replicas per flow (1 = "
+                            "plain SA); inside pool workers the replica "
+                            "chains advance serially so workers x replicas "
+                            "never oversubscribes the host")
+        p.add_argument("--exchange-every", type=int, default=50,
+                       help="moves between replica-exchange attempts")
         add_backend_arg(p)
 
     p_batch = sub.add_parser(

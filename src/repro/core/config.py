@@ -49,6 +49,20 @@ class FlowConfig:
     #: final (full-size) voltage-volume growth bound
     final_volume_size: int = 40
     seed: int = 0
+    #: parallel-tempering replicas for the annealing stage; 1 = the plain
+    #: single-chain anneal (bit-identical to the legacy path)
+    replicas: int = 1
+    #: moves each replica advances between replica-exchange attempts
+    exchange_every: int = 50
+    #: worker processes for the replica pool; None = auto (cpu-bounded,
+    #: serial inside batch-pool workers — see repro.floorplan.tempering)
+    replica_processes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.exchange_every < 1:
+            raise ValueError("exchange_every must be >= 1")
 
     def with_seed(self, seed: int) -> "FlowConfig":
         """A copy with the flow and annealer seeds rebased."""

@@ -27,6 +27,7 @@ import numpy as np
 from ..benchmarks.gsrc import BenchmarkCircuit
 from ..floorplan.annealer import AnnealResult, anneal
 from ..floorplan.objectives import FloorplanMode
+from ..floorplan.tempering import temper
 from ..layout.die import StackConfig
 from ..layout.floorplan import Floorplan3D
 from ..layout.grid import GridSpec
@@ -88,14 +89,27 @@ def run_flow(
     t_start = time.perf_counter()
     deg_mark = snapshot_degradations()
 
-    result = anneal(
-        circuit.modules,
-        stack,
-        circuit.nets,
-        circuit.terminals,
-        mode=config.mode,
-        config=config.anneal,
-    )
+    if config.replicas > 1:
+        result = temper(
+            circuit.modules,
+            stack,
+            circuit.nets,
+            circuit.terminals,
+            mode=config.mode,
+            config=config.anneal,
+            replicas=config.replicas,
+            exchange_every=config.exchange_every,
+            processes=config.replica_processes,
+        )
+    else:
+        result = anneal(
+            circuit.modules,
+            stack,
+            circuit.nets,
+            circuit.terminals,
+            mode=config.mode,
+            config=config.anneal,
+        )
     floorplan = result.floorplan
 
     # final full-size voltage assignment on the chosen layout

@@ -181,6 +181,11 @@ class BatchJob:
     iterations: int = 1500
     grid: int = 32
     num_dies: int = 2
+    #: parallel-tempering replicas for the annealing stage (1 = plain SA);
+    #: inside a pool worker the replica chains advance serially unless
+    #: REPRO_REPLICA_PROCESSES overrides — see repro.floorplan.tempering
+    replicas: int = 1
+    exchange_every: int = 50
 
     def label(self) -> str:
         return f"{self.benchmark}/{self.mode}/seed{self.seed}"
@@ -189,12 +194,17 @@ class BatchJob:
         """Stable identity of this job in a results store.
 
         Every field that changes the outcome participates, so resuming a
-        sweep with different knobs never reuses a stale record.
+        sweep with different knobs never reuses a stale record.  The
+        replica suffix appears only for tempered jobs, so every key
+        written before tempering existed still matches its job.
         """
-        return (
+        key = (
             f"{self.benchmark}|{self.mode}|seed{self.seed}"
             f"|it{self.iterations}|grid{self.grid}|dies{self.num_dies}"
         )
+        if self.replicas != 1:
+            key += f"|rep{self.replicas}x{self.exchange_every}"
+        return key
 
 
 def _init_batch_worker(cache_dir: Optional[str]) -> None:
@@ -225,6 +235,8 @@ def _execute_batch_job(job: BatchJob) -> FlowMetrics:
         verify_nx=job.grid,
         verify_ny=job.grid,
         seed=job.seed,
+        replicas=job.replicas,
+        exchange_every=job.exchange_every,
     )
     return run_flow(circuit, stack, config).metrics
 
@@ -261,6 +273,11 @@ def batch_worker_main(
     pool round after round.  Returns the number of jobs this worker
     completed.
     """
+    # mark this process as a pool worker: tempered flows inside it default
+    # to serial replica advancement instead of nesting a second pool
+    from ..floorplan.tempering import IN_POOL_ENV
+
+    os.environ[IN_POOL_ENV] = "1"
     _init_batch_worker(cache_dir)
     queue = WorkQueue(
         queue_dir,
@@ -362,11 +379,16 @@ def run_batch(
             # the serial path configures the *current* process's caches;
             # put them back afterwards so library callers see no change
             from ..floorplan.objectives import model_cache_dir, set_model_cache_dir
+            from ..floorplan.tempering import IN_POOL_ENV
             from ..thermal.steady_state import default_solver_cache
 
             prev_disk = default_solver_cache().disk_dir
             prev_model = model_cache_dir()
+            prev_in_pool = os.environ.get(IN_POOL_ENV)
             try:
+                # the serial drain is still batch context: don't let a
+                # tempered job fan out a replica pool mid-profile/test
+                os.environ[IN_POOL_ENV] = "1"
                 _init_batch_worker(cache_dir)
                 run_worker(queue, execute_batch_payload, only_keys=pending_keys)
             finally:
@@ -377,6 +399,10 @@ def run_batch(
                 # same-process callers
                 cache.drop_persisted_solvers()
                 set_model_cache_dir(prev_model)
+                if prev_in_pool is None:
+                    os.environ.pop(IN_POOL_ENV, None)
+                else:
+                    os.environ[IN_POOL_ENV] = prev_in_pool
         else:
             with ProcessPoolExecutor(max_workers=processes) as pool:
                 futures = [

@@ -5,7 +5,7 @@ multi-objective cost evaluator whose TSC-aware mode folds the Eq. 1/
 Eq. 3 leakage terms into the classical area/wirelength/thermal mix.
 """
 
-from .annealer import AnnealConfig, AnnealResult, anneal
+from .annealer import AnnealChain, AnnealConfig, AnnealResult, anneal
 from .moves import MOVE_NAMES, MoveRecord, apply_random_move
 from .objectives import (
     CompiledNetlist,
@@ -15,11 +15,15 @@ from .objectives import (
     ObjectiveWeights,
 )
 from .seqpair import DieSequencePair, LayoutState, pack_die
+from .tempering import resolve_replica_processes, temper
 
 __all__ = [
+    "AnnealChain",
     "AnnealConfig",
     "AnnealResult",
     "anneal",
+    "temper",
+    "resolve_replica_processes",
     "MOVE_NAMES",
     "MoveRecord",
     "apply_random_move",

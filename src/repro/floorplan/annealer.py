@@ -7,14 +7,25 @@ accepting worse solutions with Metropolis probability.  The best
 *feasible* (fixed-outline-respecting) solution is memorized; the paper's
 flow additionally memorizes low-leakage floorplans, which we track as
 ``best_leakage`` for the TSC setup.
+
+The loop itself lives in :class:`AnnealChain`, a resumable step API: one
+chain object carries the complete Metropolis state (layout, evaluator
+snapshot, temperature, RNG, best-so-far tracking) and advances any number
+of moves at a time.  :func:`anneal` is the single-chain driver — chain
+construction, one :meth:`AnnealChain.run` over the full budget, then
+:meth:`AnnealChain.finalize` — and is bit-identical to the historical
+monolithic loop for a given seed.  Chains pickle cleanly, which is what
+the parallel-tempering layer (:mod:`repro.floorplan.tempering`) builds
+on: replicas travel to worker processes between exchange rounds with
+their whole state, so results cannot depend on worker scheduling.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -27,7 +38,17 @@ from .moves import apply_random_move
 from .objectives import CostBreakdown, CostEvaluator, FloorplanMode, ObjectiveWeights
 from .seqpair import LayoutState
 
-__all__ = ["AnnealConfig", "AnnealResult", "anneal"]
+__all__ = [
+    "AnnealChain",
+    "AnnealConfig",
+    "AnnealResult",
+    "anneal",
+]
+
+#: lower bound for the starting temperature: degenerate probe runs (all
+#: deltas ~0, or an acceptance target that rounds log() into underflow)
+#: must not freeze the chain at T=0 or launch it at T=inf
+TEMPERATURE_FLOOR = 1e-9
 
 
 @dataclass(frozen=True)
@@ -79,14 +100,272 @@ class AnnealResult:
     accepted: int
     runtime_s: float
     history: List[float] = field(default_factory=list)
+    #: replica-exchange provenance (1 / 0 / 0 for a plain single chain)
+    replicas: int = 1
+    exchange_attempts: int = 0
+    exchange_accepts: int = 0
 
 
 def _initial_temperature(deltas: Sequence[float], accept: float) -> float:
-    """Temperature making the mean uphill delta accepted with prob ``accept``."""
+    """Temperature making the mean uphill delta accepted with prob ``accept``.
+
+    Degenerate inputs are clamped rather than propagated: an ``accept``
+    so close to 1.0 that ``log`` underflows toward 0 would return ``inf``
+    (every later Metropolis test then accepts, i.e. a random walk), and
+    all-zero probe deltas would return a subnormal temperature that
+    freezes the chain; both land on :data:`TEMPERATURE_FLOOR` instead.
+    """
     ups = [d for d in deltas if d > 0]
     if not ups:
         return 1.0
-    return float(-np.mean(ups) / math.log(accept))
+    accept = min(max(accept, 1e-12), 1.0 - 1e-12)
+    t = float(-np.mean(ups) / math.log(accept))
+    if not math.isfinite(t):
+        return TEMPERATURE_FLOOR
+    return max(t, TEMPERATURE_FLOOR)
+
+
+class AnnealChain:
+    """One resumable Metropolis chain over :class:`LayoutState`.
+
+    All loop state is explicit instance state, so a chain can be advanced
+    in slices (:meth:`run`), pickled to another process mid-run, and
+    finished anywhere (:meth:`finalize`).  Driving a fresh chain straight
+    through ``config.iterations`` moves reproduces the historical
+    ``anneal()`` loop bit for bit — the tests pin
+    :func:`anneal`/:func:`~repro.floorplan.tempering.temper` equivalence
+    on exactly that property.
+    """
+
+    def __init__(
+        self,
+        state: LayoutState,
+        evaluator: CostEvaluator,
+        config: AnnealConfig,
+        rng: np.random.Generator,
+        nets: Sequence[Net],
+        terminals: Mapping[str, Terminal],
+        temperature: float,
+        initial_temperature: float,
+        current_cost: float,
+        current_bd: CostBreakdown,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        self.state = state
+        self.evaluator = evaluator
+        self.config = config
+        self.rng = rng
+        self.nets = tuple(nets)
+        self.terminals = dict(terminals)
+        self.temperature = temperature
+        #: the probe-derived pre-ladder temperature; the tempering layer
+        #: reads it off replica 0 to place the other rungs
+        self.initial_temperature = initial_temperature
+        self.current_cost = current_cost
+        self.current_bd = current_bd
+        self.elapsed_s = elapsed_s
+
+        self.best_state = state.copy()
+        self.best_cost = current_cost
+        self.best_bd = current_bd
+        self.best_feasible = current_bd.outline <= 1e-9
+        self.best_violation = current_bd.outline
+        self.best_leak_state: Optional[LayoutState] = None
+        self.best_leak_score = math.inf
+
+        self.accepted = 0
+        self.history: List[float] = []
+        self.moves_at_t = 0
+        self.iteration = 0
+        self.push_at = int(config.iterations * 0.8)
+        self.original_weights = evaluator.weights
+        self._boosted = False
+
+    # -- construction --------------------------------------------------------
+    @staticmethod
+    def start(
+        modules: Mapping[str, Module],
+        stack: StackConfig,
+        nets: Sequence[Net] = (),
+        terminals: Mapping[str, Terminal] | None = None,
+        mode: str = FloorplanMode.POWER_AWARE,
+        config: AnnealConfig | None = None,
+        weights: ObjectiveWeights | None = None,
+        evaluator: CostEvaluator | None = None,
+        rng: np.random.Generator | None = None,
+        scales: Mapping[str, float] | None = None,
+        temperature: float | None = None,
+        temperature_scale: float = 1.0,
+    ) -> "AnnealChain":
+        """Build a chain: initial state, scale calibration, starting T.
+
+        With only the legacy arguments this performs exactly the setup the
+        historical ``anneal()`` did, in the same RNG order.  The tempering
+        layer passes the extras: ``rng`` (a spawned per-replica stream),
+        ``scales`` (shared normalization so replica energies are
+        comparable — skips this chain's own calibration), ``temperature``
+        (skips the probe loop; replicas above the ladder's first rung
+        reuse rung 0's probe result), and ``temperature_scale`` (the
+        geometric ladder factor for this rung).
+        """
+        config = config or AnnealConfig()
+        terminals = dict(terminals or {})
+        modules = ensure_intrinsic_delays(modules)
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        t_start = time.perf_counter()
+
+        if evaluator is None:
+            evaluator = CostEvaluator(
+                stack,
+                nets,
+                terminals,
+                mode=mode,
+                weights=weights,
+                grid_nx=config.grid_nx,
+                grid_ny=config.grid_ny,
+                timing_every=config.timing_every,
+                thermal_every=config.thermal_every,
+                assignment_every=config.assignment_every,
+                inloop_volume_size=config.inloop_volume_size,
+            )
+
+        state = LayoutState.initial(modules, stack, rng, power_biased=True)
+        if scales is None:
+            evaluator.calibrate_scales(state, rng, samples=config.calibration_samples)
+        else:
+            evaluator.set_scales(scales)
+
+        current_bd = evaluator.evaluate(state, force_full=True)
+        current_cost = evaluator.total_cost(current_bd)
+        evaluator.commit()
+
+        if temperature is None:
+            # probe deltas for the starting temperature (full evaluations
+            # on probe copies; deliberately never committed, so the
+            # incremental baseline stays pinned to ``state``)
+            probe_deltas: List[float] = []
+            probe = state.copy()
+            for _ in range(min(20, config.calibration_samples)):
+                cand = probe.copy()
+                apply_random_move(cand, rng)
+                bd = evaluator.evaluate(cand)
+                probe_deltas.append(evaluator.total_cost(bd) - current_cost)
+            temperature = _initial_temperature(
+                probe_deltas, config.initial_acceptance
+            )
+        return AnnealChain(
+            state=state,
+            evaluator=evaluator,
+            config=config,
+            rng=rng,
+            nets=nets,
+            terminals=terminals,
+            temperature=temperature * temperature_scale,
+            initial_temperature=temperature,
+            current_cost=current_cost,
+            current_bd=current_bd,
+            elapsed_s=time.perf_counter() - t_start,
+        )
+
+    # -- the Metropolis loop -------------------------------------------------
+    def step(self) -> None:
+        """Advance one move (one historical loop iteration)."""
+        config = self.config
+        evaluator = self.evaluator
+        if self.iteration == self.push_at and not self._boosted:
+            # compaction phase: boost the fixed-outline pressure so the
+            # final solution packs inside the outline
+            self._boosted = True
+            evaluator.weights = replace(
+                self.original_weights, outline=self.original_weights.outline * 6.0
+            )
+            self.current_cost = evaluator.total_cost(self.current_bd)
+            self.best_cost = evaluator.total_cost(self.best_bd)
+        candidate = self.state.copy()
+        move = apply_random_move(candidate, self.rng)
+        if config.incremental:
+            bd = evaluator.evaluate(candidate, dirty_dies=move.dies)
+        else:
+            bd = evaluator.evaluate(candidate, force_full=True)
+        cost = evaluator.total_cost(bd)
+        delta = cost - self.current_cost
+        if delta <= 0 or self.rng.random() < math.exp(
+            -delta / max(self.temperature, 1e-12)
+        ):
+            self.state = candidate
+            self.current_cost = cost
+            self.current_bd = bd
+            evaluator.commit()
+            self.accepted += 1
+            feasible = bd.outline <= 1e-9
+            improved = (
+                (feasible and not self.best_feasible)
+                or (feasible == self.best_feasible and cost < self.best_cost)
+                or (
+                    not feasible
+                    and not self.best_feasible
+                    and bd.outline < self.best_violation
+                )
+            )
+            if improved:
+                self.best_state = self.state.copy()
+                self.best_cost = cost
+                self.best_bd = bd
+                self.best_feasible = feasible
+                self.best_violation = bd.outline
+            if feasible and (bd.correlation + bd.entropy) > 0:
+                leak = bd.correlation + 0.1 * bd.entropy
+                if leak < self.best_leak_score:
+                    self.best_leak_score = leak
+                    self.best_leak_state = self.state.copy()
+        self.history.append(self.current_cost)
+        self.iteration += 1
+        self.moves_at_t += 1
+        if self.moves_at_t >= config.moves_per_temperature:
+            self.temperature *= config.cooling
+            self.moves_at_t = 0
+
+    def run(self, moves: int) -> "AnnealChain":
+        """Advance ``moves`` iterations; returns ``self`` (pool-friendly)."""
+        t0 = time.perf_counter()
+        for _ in range(moves):
+            self.step()
+        self.elapsed_s += time.perf_counter() - t0
+        return self
+
+    # -- finishing -----------------------------------------------------------
+    def restore_weights(self) -> None:
+        """Put the evaluator's (possibly caller-supplied) weights back."""
+        self.evaluator.weights = self.original_weights
+
+    def finalize(self) -> AnnealResult:
+        """Score the best state under the *original* weights and report.
+
+        The compaction phase deliberately boosts the outline weight
+        in-loop; the reported cost must not inherit that boost, or runs
+        would not be comparable across configs (and a tempering
+        coordinator could not rank replica results) — so the weights are
+        restored *before* the final full evaluation.
+        """
+        t0 = time.perf_counter()
+        self.restore_weights()
+        evaluator = self.evaluator
+        final_bd = evaluator.evaluate(self.best_state, force_full=True)
+        final_cost = evaluator.total_cost(final_bd)
+        floorplan = self.best_state.realize(self.nets, self.terminals)
+        self.elapsed_s += time.perf_counter() - t0
+        return AnnealResult(
+            state=self.best_state,
+            floorplan=floorplan,
+            cost=final_cost,
+            breakdown=final_bd,
+            feasible=final_bd.outline <= 1e-9,
+            best_leakage=self.best_leak_state,
+            iterations=self.iteration,
+            accepted=self.accepted,
+            runtime_s=self.elapsed_s,
+            history=self.history,
+        )
 
 
 def anneal(
@@ -103,129 +382,26 @@ def anneal(
 
     Returns the best feasible solution found (falling back to the
     least-violating one when the outline was never met — callers should
-    check ``result.feasible``).
+    check ``result.feasible``).  This is the single-chain driver over
+    :class:`AnnealChain`; for multi-replica search see
+    :func:`repro.floorplan.tempering.temper`.
     """
     config = config or AnnealConfig()
-    terminals = dict(terminals or {})
-    modules = ensure_intrinsic_delays(modules)
-    rng = np.random.default_rng(config.seed)
-    t_start = time.perf_counter()
-
-    if evaluator is None:
-        evaluator = CostEvaluator(
-            stack,
-            nets,
-            terminals,
-            mode=mode,
-            weights=weights,
-            grid_nx=config.grid_nx,
-            grid_ny=config.grid_ny,
-            timing_every=config.timing_every,
-            thermal_every=config.thermal_every,
-            assignment_every=config.assignment_every,
-            inloop_volume_size=config.inloop_volume_size,
-        )
-
-    state = LayoutState.initial(modules, stack, rng, power_biased=True)
-    evaluator.calibrate_scales(state, rng, samples=config.calibration_samples)
-
-    current_bd = evaluator.evaluate(state, force_full=True)
-    current_cost = evaluator.total_cost(current_bd)
-    evaluator.commit()
-
-    # probe deltas for the starting temperature (full evaluations on probe
-    # copies; deliberately never committed, so the incremental baseline
-    # stays pinned to ``state``)
-    probe_deltas: List[float] = []
-    probe = state.copy()
-    for _ in range(min(20, config.calibration_samples)):
-        cand = probe.copy()
-        apply_random_move(cand, rng)
-        bd = evaluator.evaluate(cand)
-        probe_deltas.append(evaluator.total_cost(bd) - current_cost)
-    temperature = _initial_temperature(probe_deltas, config.initial_acceptance)
-
-    best_state = state.copy()
-    best_cost = current_cost
-    best_bd = current_bd
-    best_feasible = current_bd.outline <= 1e-9
-    best_violation = current_bd.outline
-
-    best_leak_state: Optional[LayoutState] = None
-    best_leak_score = math.inf
-
-    accepted = 0
-    history: List[float] = []
-    moves_at_t = 0
-    push_at = int(config.iterations * 0.8)
-    # the compaction phase temporarily boosts the fixed-outline pressure;
-    # the caller's evaluator (and its weights) must come back unchanged,
-    # so the original weights are restored in the ``finally`` below
-    original_weights = evaluator.weights
-    try:
-        for it in range(config.iterations):
-            if it == push_at:
-                # compaction phase: boost the fixed-outline pressure so the
-                # final solution packs inside the outline
-                from dataclasses import replace as _replace
-
-                evaluator.weights = _replace(
-                    original_weights, outline=original_weights.outline * 6.0
-                )
-                current_cost = evaluator.total_cost(current_bd)
-                best_cost = evaluator.total_cost(best_bd)
-            candidate = state.copy()
-            move = apply_random_move(candidate, rng)
-            if config.incremental:
-                bd = evaluator.evaluate(candidate, dirty_dies=move.dies)
-            else:
-                bd = evaluator.evaluate(candidate, force_full=True)
-            cost = evaluator.total_cost(bd)
-            delta = cost - current_cost
-            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
-                state = candidate
-                current_cost = cost
-                current_bd = bd
-                evaluator.commit()
-                accepted += 1
-                feasible = bd.outline <= 1e-9
-                improved = (
-                    (feasible and not best_feasible)
-                    or (feasible == best_feasible and cost < best_cost)
-                    or (not feasible and not best_feasible and bd.outline < best_violation)
-                )
-                if improved:
-                    best_state = state.copy()
-                    best_cost = cost
-                    best_bd = bd
-                    best_feasible = feasible
-                    best_violation = bd.outline
-                if feasible and (bd.correlation + bd.entropy) > 0:
-                    leak = bd.correlation + 0.1 * bd.entropy
-                    if leak < best_leak_score:
-                        best_leak_score = leak
-                        best_leak_state = state.copy()
-            history.append(current_cost)
-            moves_at_t += 1
-            if moves_at_t >= config.moves_per_temperature:
-                temperature *= config.cooling
-                moves_at_t = 0
-
-        final_bd = evaluator.evaluate(best_state, force_full=True)
-        final_cost = evaluator.total_cost(final_bd)
-    finally:
-        evaluator.weights = original_weights
-    floorplan = best_state.realize(nets, terminals)
-    runtime = time.perf_counter() - t_start
-    return AnnealResult(
-        state=best_state,
-        floorplan=floorplan,
-        cost=final_cost,
-        breakdown=final_bd,
-        feasible=final_bd.outline <= 1e-9,
-        best_leakage=best_leak_state,
-        iterations=config.iterations,
-        accepted=accepted,
-        runtime_s=runtime,
-        history=history,
+    chain = AnnealChain.start(
+        modules,
+        stack,
+        nets=nets,
+        terminals=terminals,
+        mode=mode,
+        config=config,
+        weights=weights,
+        evaluator=evaluator,
     )
+    # the compaction phase temporarily boosts the fixed-outline pressure;
+    # the caller's evaluator (and its weights) must come back unchanged
+    # even when the loop raises
+    try:
+        chain.run(config.iterations)
+        return chain.finalize()
+    finally:
+        chain.restore_weights()

@@ -19,7 +19,7 @@ iteration via a fully vectorized netlist evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -756,6 +756,18 @@ class CostEvaluator:
         }
         # outline violations are a *penalty*, normalized to O(1) directly
         self._scales["outline"] = 1.0
+        self._iteration = 0
+        return dict(self._scales)
+
+    def set_scales(self, scales: Mapping[str, float]) -> Dict[str, float]:
+        """Adopt externally calibrated normalization scales.
+
+        Replica-exchange annealing needs all replicas' costs on one
+        scale, so one chain calibrates and the rest adopt its result
+        here instead of sampling their own.
+        """
+        self.reset_incremental()
+        self._scales = dict(scales)
         self._iteration = 0
         return dict(self._scales)
 

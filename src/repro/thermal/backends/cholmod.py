@@ -57,9 +57,11 @@ class CholmodFactorization(Factorization):
 
     backend_name = "cholmod"
     is_persisted = False
-    #: measured elsewhere at roughly 0.2x the per-RHS cost of
-    #: equilibrated SuperLU (half the factor nnz, one factor matrix);
-    #: re-measure with tools/measure_woodbury_crossover.py --backends
+    #: per-RHS cost relative to equilibrated SuperLU (half the factor
+    #: nnz, one factor matrix).  Continuously validated on the
+    #: scikit-sparse CI leg: tools/measure_woodbury_crossover.py
+    #: --check-hints fails the build if the measured median drifts more
+    #: than HINT_DRIFT_FACTOR from this value
     per_rhs_cost_hint = 0.2
     supports_woodbury_base = True
 

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.benchmarks.generator import BenchmarkSpec, generate_circuit
-from repro.floorplan.annealer import AnnealConfig, AnnealResult, anneal
+from repro.floorplan.annealer import (
+    TEMPERATURE_FLOOR,
+    AnnealChain,
+    AnnealConfig,
+    AnnealResult,
+    _initial_temperature,
+    anneal,
+)
 from repro.floorplan.objectives import (
     CompiledNetlist,
     CostBreakdown,
@@ -14,7 +21,6 @@ from repro.floorplan.objectives import (
 )
 from repro.floorplan.seqpair import LayoutState
 from repro.layout.die import StackConfig
-from repro.layout.net import Net, Terminal
 
 
 @pytest.fixture(scope="module")
@@ -170,3 +176,76 @@ class TestAnnealer:
         res = anneal(circ.modules, stack, circ.nets, circ.terminals,
                      mode=FloorplanMode.TSC_AWARE, config=cfg)
         assert res.breakdown.correlation != 0.0 or res.best_leakage is not None
+
+    def test_reported_cost_uses_original_weights(self, tiny_circuit):
+        """Regression: the final cost must be scored under the caller's
+        weights, not the 6x-boosted compaction weights.
+
+        A run too short to reach feasibility ends with outline > 0, where
+        the boosted weight historically inflated the reported cost by the
+        boosted outline contribution.
+        """
+        circ, stack = tiny_circuit
+        ev = CostEvaluator(
+            stack, circ.nets, circ.terminals, grid_nx=16, grid_ny=16,
+            auto_calibrate=False,
+        )
+        original = ev.weights
+        cfg = AnnealConfig(iterations=20, seed=11, calibration_samples=4,
+                           grid_nx=16, grid_ny=16)
+        res = anneal(circ.modules, stack, circ.nets, circ.terminals,
+                     config=cfg, evaluator=ev)
+        # caller's evaluator must come back with its weights intact ...
+        assert ev.weights == original
+        # ... and the reported cost must be the original-weight total of
+        # the reported breakdown (fails with the boost applied whenever
+        # the run ends infeasible)
+        assert res.cost == pytest.approx(ev.total_cost(res.breakdown))
+        if not res.feasible:
+            boosted = ev.total_cost(res.breakdown) + (
+                original.outline * 5.0 * res.breakdown.outline
+            )
+            assert res.cost < boosted
+
+    def test_chain_matches_anneal_in_slices(self, tiny_circuit):
+        """Advancing a chain in arbitrary slices equals one straight run."""
+        circ, stack = tiny_circuit
+        cfg = AnnealConfig(iterations=60, seed=13, calibration_samples=4,
+                           grid_nx=16, grid_ny=16)
+        ref = anneal(circ.modules, stack, circ.nets, circ.terminals, config=cfg)
+        chain = AnnealChain.start(circ.modules, stack, nets=circ.nets,
+                                  terminals=circ.terminals, config=cfg)
+        try:
+            for moves in (7, 13, 20, 20):
+                chain.run(moves)
+            res = chain.finalize()
+        finally:
+            chain.restore_weights()
+        assert res.history == ref.history
+        assert res.accepted == ref.accepted
+        assert res.cost == ref.cost
+
+
+class TestInitialTemperature:
+    def test_no_uphill_deltas_defaults_to_one(self):
+        assert _initial_temperature([], 0.5) == 1.0
+        assert _initial_temperature([-1.0, 0.0, -0.2], 0.5) == 1.0
+
+    def test_normal_case(self):
+        # mean uphill delta 2.0 accepted with p=0.5 -> T = 2 / ln 2
+        t = _initial_temperature([2.0, -1.0], 0.5)
+        assert t == pytest.approx(2.0 / np.log(2.0))
+
+    def test_acceptance_rounded_to_one_stays_finite(self):
+        """Regression: log(1.0) == 0 historically produced T = inf."""
+        t = _initial_temperature([1.0, 3.0], 1.0)
+        assert np.isfinite(t) and t > 0
+
+    def test_acceptance_rounded_to_zero_stays_finite(self):
+        t = _initial_temperature([1.0], 0.0)
+        assert np.isfinite(t) and t >= TEMPERATURE_FLOOR
+
+    def test_tiny_deltas_clamped_to_floor(self):
+        """Regression: ~0 probe deltas froze the chain at a subnormal T."""
+        t = _initial_temperature([1e-300], 0.5)
+        assert t == TEMPERATURE_FLOOR

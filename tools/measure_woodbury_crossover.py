@@ -42,11 +42,17 @@ from repro.thermal.backends import BACKEND_NAMES, get_backend
 from repro.thermal.rc_network import assemble
 from repro.thermal.stack import build_stack
 
+#: --check-hints tolerance: a measured per-RHS ratio may drift this far
+#: (in either direction) from the backend's committed per_rhs_cost_hint
+#: before the gate fails — wide enough for runner-to-runner variance,
+#: tight enough to catch an order-of-magnitude-stale hint
+HINT_DRIFT_FACTOR = 2.5
+
 
 def time_network(
     backend, stack_cfg, grid_n: int, rhs_batch: int, repeats: int
 ) -> tuple:
-    """(num_nodes, factorization seconds, per-RHS solve seconds)."""
+    """(num_nodes, factorization seconds, per-RHS solve seconds, hint)."""
     grid = GridSpec(stack_cfg.outline, grid_n, grid_n)
     network = assemble(build_stack(stack_cfg, grid))
     conductance = network.conductance
@@ -62,7 +68,8 @@ def time_network(
         t0 = time.perf_counter()
         fact.solve_many(rhs)
         t_solve = min(t_solve, time.perf_counter() - t0)
-    return conductance.shape[0], t_fact, t_solve / rhs_batch
+    hint = float(getattr(fact, "per_rhs_cost_hint", 1.0))
+    return conductance.shape[0], t_fact, t_solve / rhs_batch, hint
 
 
 def main(argv=None) -> int:
@@ -79,22 +86,38 @@ def main(argv=None) -> int:
                         help="backends to measure; unavailable ones are "
                              "skipped with a note (superlu first is "
                              "recommended — it anchors the hint ratios)")
+    parser.add_argument("--check-hints", action="store_true",
+                        help="gate mode: fail (exit 1) when a measured "
+                             "per-RHS ratio drifts beyond a factor of "
+                             f"{HINT_DRIFT_FACTOR} from the backend's "
+                             "committed per_rhs_cost_hint — the CI leg "
+                             "with the optional backends installed runs "
+                             "this so the committed hints stay measured "
+                             "values, not estimates")
     args = parser.parse_args(argv)
 
     _, stack_cfg = load(args.benchmark)
     reference_rhs: dict = {}  # (grid_n) -> superlu per-RHS seconds
+    hint_failures: list = []
     for backend_name in args.backends:
         backend = get_backend(backend_name)
         if not backend.available():
             print(f"\n== {backend_name}: unavailable here "
                   f"({backend.unavailable_reason()}); skipped ==")
+            if args.check_hints and backend_name != "superlu":
+                # the gate exists to validate installed backends; a
+                # requested-but-missing one means the CI leg is broken
+                hint_failures.append(
+                    (backend_name, None, None, "backend unavailable")
+                )
             continue
         print(f"\n== {backend_name} ==")
         sizes, crossovers, hint_ratios = [], [], []
+        committed_hint = None
         print(f"{'grid':>5} {'nodes':>7} {'factorize':>10} {'per-RHS':>9} "
               f"{'crossover':>9}")
         for grid_n in args.grids:
-            n, t_fact, t_rhs = time_network(
+            n, t_fact, t_rhs, committed_hint = time_network(
                 backend, stack_cfg, grid_n, args.rhs_batch, args.repeats
             )
             crossover = t_fact / t_rhs
@@ -117,9 +140,28 @@ def main(argv=None) -> int:
                   "src/repro/thermal/steady_state.py with these values "
                   "(and record the run in ROADMAP.md)")
         elif hint_ratios:
-            print(f"per-RHS cost vs superlu: median "
-                  f"{float(np.median(hint_ratios)):.2f}x — candidate "
-                  f"per_rhs_cost_hint for this backend's factorizations")
+            measured = float(np.median(hint_ratios))
+            print(f"per-RHS cost vs superlu: median {measured:.2f}x — "
+                  f"candidate per_rhs_cost_hint for this backend's "
+                  f"factorizations (committed: {committed_hint})")
+            if args.check_hints and committed_hint:
+                lo = committed_hint / HINT_DRIFT_FACTOR
+                hi = committed_hint * HINT_DRIFT_FACTOR
+                if not (lo <= measured <= hi):
+                    hint_failures.append(
+                        (backend_name, measured, committed_hint,
+                         f"outside [{lo:.3f}, {hi:.3f}]")
+                    )
+
+    if args.check_hints:
+        if hint_failures:
+            for name, measured, committed, why in hint_failures:
+                shown = f"{measured:.2f}x" if measured is not None else "n/a"
+                print(f"\nFAIL: {name} per-RHS ratio {shown} vs committed "
+                      f"hint {committed}: {why} — re-measure and update "
+                      f"per_rhs_cost_hint in src/repro/thermal/backends/")
+            return 1
+        print("\nhint drift gate passed")
     return 0
 
 
