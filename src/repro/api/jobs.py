@@ -1,0 +1,151 @@
+"""The wire-level job vocabulary of the evaluation service.
+
+:class:`JobSpec` is the *request*: everything that determines one flow
+invocation's outcome, and nothing else.  It deliberately mirrors
+:class:`~repro.exploration.study.BatchJob` field-for-field so a spec
+submitted over HTTP, a job enqueued into a shared
+:class:`~repro.core.queue.WorkQueue` directory, and a ``repro.cli
+batch`` grid entry all share one results-store identity
+(:meth:`JobSpec.key` delegates to ``BatchJob.key()``) — a sweep finished
+on a worker pool is already "completed" to the service, and vice versa.
+
+:class:`JobResult` is the *response*: the recorded
+:class:`~repro.core.results.FlowMetrics` plus the provenance a client
+needs to trust it — whether the result was recomputed or reused from the
+store, and how the process-wide solver cache behaved while producing it.
+
+Both serialize through :mod:`repro.core.schema`: versioned documents,
+unknown keys tolerated with a warning, bad values rejected with the same
+``ValueError`` direct construction raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..core import schema
+from ..core.results import FlowMetrics
+from ..core.store import artifact_digest
+from ..floorplan.objectives import FloorplanMode
+
+__all__ = ["JobSpec", "JobResult"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One flow-evaluation request (the service's stable input schema).
+
+    Validation happens at construction — a spec that deserialized is a
+    spec that can run, so a malformed HTTP submission fails with a 400
+    before any solver state is touched, never mid-flow.
+    """
+
+    benchmark: str
+    mode: str = FloorplanMode.POWER_AWARE
+    seed: int = 0
+    iterations: int = 1500
+    grid: int = 32
+    num_dies: int = 2
+    replicas: int = 1
+    exchange_every: int = 50
+
+    def __post_init__(self) -> None:
+        from ..benchmarks import benchmark_names
+
+        if self.benchmark not in benchmark_names():
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r} "
+                f"(choose from {', '.join(benchmark_names())})"
+            )
+        if self.mode not in (FloorplanMode.POWER_AWARE, FloorplanMode.TSC_AWARE):
+            raise ValueError(
+                f"mode must be '{FloorplanMode.POWER_AWARE}' or "
+                f"'{FloorplanMode.TSC_AWARE}', got {self.mode!r}"
+            )
+        # numeric bounds are BatchJob's rules; constructing one enforces
+        # them here so the two vocabularies can never drift apart
+        self.to_batch_job()
+
+    def to_json(self) -> dict:
+        """Versioned JSON document (see :mod:`repro.core.schema`)."""
+        return schema.to_json_dict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "JobSpec":
+        """Rebuild from :meth:`to_json` output; unknown keys warn, bad
+        values raise the same ``ValueError`` construction would."""
+        return schema.from_json_dict(cls, data)
+
+    def to_batch_job(self):
+        """The equivalent :class:`~repro.exploration.study.BatchJob`."""
+        from ..exploration.study import BatchJob
+
+        return BatchJob(
+            benchmark=self.benchmark,
+            mode=self.mode,
+            seed=self.seed,
+            iterations=self.iterations,
+            grid=self.grid,
+            num_dies=self.num_dies,
+            replicas=self.replicas,
+            exchange_every=self.exchange_every,
+        )
+
+    def to_flow_config(self):
+        """The :class:`~repro.core.config.FlowConfig` this spec runs.
+
+        Field mapping is identical to the batch executor's
+        (:func:`~repro.exploration.study._execute_batch_job`), so a spec
+        evaluated in-process by the service produces metrics
+        bit-identical to the same job drained from a work queue.
+        """
+        from ..core.config import FlowConfig
+        from ..floorplan.annealer import AnnealConfig
+
+        return FlowConfig(
+            mode=self.mode,
+            anneal=AnnealConfig(iterations=self.iterations, seed=self.seed),
+            verify_nx=self.grid,
+            verify_ny=self.grid,
+            seed=self.seed,
+            replicas=self.replicas,
+            exchange_every=self.exchange_every,
+        )
+
+    def key(self) -> str:
+        """Results-store identity, shared with ``BatchJob.key()``."""
+        return self.to_batch_job().key()
+
+    def job_id(self) -> str:
+        """Short stable identifier derived from :meth:`key` (URL-safe)."""
+        return artifact_digest("jobspec", self.key())[:16]
+
+
+@dataclass
+class JobResult:
+    """One completed (or failed) evaluation, with provenance.
+
+    ``reused`` distinguishes a recomputation from a
+    :class:`~repro.core.store.ResultsStore` playback; ``solver_cache``
+    holds the process solver cache's hit/miss/disk-hit *deltas* over
+    this job, which is how a client (and the acceptance tests) can tell
+    a warm evaluation from a cold one.
+    """
+
+    job_id: str
+    key: str
+    status: str = "completed"
+    reused: bool = False
+    metrics: Optional[FlowMetrics] = None
+    solver_cache: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_json(self) -> dict:
+        """Versioned JSON document (see :mod:`repro.core.schema`)."""
+        return schema.to_json_dict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "JobResult":
+        """Rebuild from :meth:`to_json` output."""
+        return schema.from_json_dict(cls, data)

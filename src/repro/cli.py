@@ -24,6 +24,16 @@ queue directory on a common filesystem::
 Workers claim jobs via atomic lease files and append results to
 per-worker shards; crashed workers' leases expire and their jobs are
 reclaimed by survivors (see :mod:`repro.core.queue`).
+
+``serve`` runs the evaluation service — an asyncio HTTP frontend over
+the same flow stack (see :mod:`repro.service` and ``docs/SERVICE.md``)::
+
+    python -m repro.cli serve --port 8765 --store runs/service \
+        --queue-dir /shared/q --queue-threshold 5000
+    python -m repro.cli work --queue-dir /shared/q --watch   # fan-out drain
+
+``sweep-status --json`` prints the same machine-readable progress
+document the service exposes at ``GET /v1/queue/status``.
 """
 
 from __future__ import annotations
@@ -60,25 +70,39 @@ def _print_metrics(m) -> None:
           f"volumes={m.voltage_volumes}")
 
 
+def _spec_from_args(args: argparse.Namespace, benchmark: str, mode: str, seed: int):
+    """One validated JobSpec from CLI knobs (shared arg->spec path)."""
+    from .api import JobSpec
+
+    try:
+        return JobSpec(
+            benchmark=benchmark,
+            mode=mode,
+            seed=seed,
+            iterations=args.iterations,
+            grid=args.grid,
+            replicas=getattr(args, "replicas", 1),
+            exchange_every=getattr(args, "exchange_every", 50),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_flow(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    circuit, stack = load(args.benchmark)
-    mode = (FloorplanMode.TSC_AWARE if args.mode == "tsc_aware"
-            else FloorplanMode.POWER_AWARE)
-    config = FlowConfig(
-        mode=mode,
-        anneal=AnnealConfig(iterations=args.iterations, seed=args.seed),
-        verify_nx=args.grid, verify_ny=args.grid,
-        replicas=args.replicas, exchange_every=args.exchange_every,
-        replica_processes=args.replica_processes,
+    from .api import execute_spec
+
+    spec = _spec_from_args(args, args.benchmark, args.mode, args.seed)
+    config = replace(
+        spec.to_flow_config(), replica_processes=args.replica_processes
     )
     if args.no_incremental:
         config = replace(
             config, mitigation=replace(config.mitigation, incremental=False)
         )
-    outcome = run_flow(circuit, stack, config)
-    print(f"[{args.benchmark} / {mode}]")
+    outcome = execute_spec(spec, config=config)
+    print(f"[{args.benchmark} / {spec.mode}]")
     if config.replicas > 1:
         res = outcome.anneal_result
         print(f"  replicas={res.replicas}  exchange_every={config.exchange_every}  "
@@ -111,21 +135,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _build_jobs(args: argparse.Namespace) -> list:
-    """The (benchmark, mode, seed) job grid shared by batch and enqueue."""
-    from .exploration.study import BatchJob
-
+    """The (benchmark, mode, seed) JobSpec grid shared by batch/enqueue."""
     if args.seeds < 1:
         raise SystemExit("error: --seeds must be >= 1")
     return [
-        BatchJob(
-            benchmark=bench,
-            mode=mode,
-            seed=seed,
-            iterations=args.iterations,
-            grid=args.grid,
-            replicas=args.replicas,
-            exchange_every=args.exchange_every,
-        )
+        _spec_from_args(args, bench, mode, seed)
         for mode in args.modes
         for bench in args.benchmarks
         for seed in range(args.seeds)
@@ -136,7 +150,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .core.store import ResultsStore
     from .exploration.study import run_batch, summarize_batch
 
-    jobs = _build_jobs(args)
+    jobs = [spec.to_batch_job() for spec in _build_jobs(args)]
     store = ResultsStore(args.store) if args.store else None
     if store is not None:
         done = store.completed()
@@ -162,19 +176,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_enqueue(args: argparse.Namespace) -> int:
-    from dataclasses import asdict
-
+    from .api import submit
     from .core.queue import WorkQueue
 
     jobs = _build_jobs(args)
-    queue = WorkQueue(args.queue_dir)
     added = 0
-    for job in jobs:
-        if queue.enqueue(job.key(), asdict(job)):
+    for spec in jobs:
+        outcome = submit(spec, args.queue_dir, retry_failed=args.retry_failed)
+        if outcome["enqueued"]:
             added += 1
-        if args.retry_failed:
-            queue.clear_failure(job.key())
-    status = queue.status()
+    status = WorkQueue(args.queue_dir).status()
     print(f"enqueued {added} new jobs ({len(jobs) - added} already queued) "
           f"-> {args.queue_dir}")
     print(f"queue now: {status.total} total, {status.completed} completed, "
@@ -200,38 +211,82 @@ def _cmd_work(args: argparse.Namespace) -> int:
         max_steals=args.max_attempts if args.max_attempts > 1 else None,
     )
     status = queue.status()
-    if status.total == 0:
-        print(f"queue {args.queue_dir} is empty; enqueue jobs first")
+    if status.total == 0 and not args.watch:
+        print(f"queue {args.queue_dir} is empty; enqueue jobs first "
+              "(or tail it with --watch)")
         return 1
-    print(f"draining {args.queue_dir}: {status.pending} pending of "
-          f"{status.total} jobs on {workers} worker(s) "
-          f"(lease ttl {args.lease_ttl:.0f}s, "
-          f"{args.max_attempts} attempt(s)/job)")
-    if workers == 1:
-        done = batch_worker_main(
-            str(args.queue_dir), args.lease_ttl, args.cache_dir,
-            max_jobs=args.max_jobs,
-            max_attempts=args.max_attempts, retry_backoff=args.backoff,
-        )
+    if args.watch:
+        print(f"watching {args.queue_dir} on {workers} worker(s): "
+              f"executing jobs as they are enqueued "
+              f"(lease ttl {args.lease_ttl:.0f}s, "
+              f"{args.max_attempts} attempt(s)/job; stop with Ctrl-C)")
     else:
-        done = 0
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    batch_worker_main, str(args.queue_dir), args.lease_ttl,
-                    args.cache_dir, None, args.max_jobs,
-                    max_attempts=args.max_attempts,
-                    retry_backoff=args.backoff,
+        print(f"draining {args.queue_dir}: {status.pending} pending of "
+              f"{status.total} jobs on {workers} worker(s) "
+              f"(lease ttl {args.lease_ttl:.0f}s, "
+              f"{args.max_attempts} attempt(s)/job)")
+    done = 0
+    try:
+        if workers == 1:
+            done = batch_worker_main(
+                str(args.queue_dir), args.lease_ttl, args.cache_dir,
+                max_jobs=args.max_jobs,
+                max_attempts=args.max_attempts, retry_backoff=args.backoff,
+                watch=args.watch,
+            )
+        elif args.watch:
+            # daemon pool: plain processes, terminated on Ctrl-C — a
+            # ProcessPoolExecutor would wait forever on workers that
+            # never drain by design
+            import multiprocessing as mp
+
+            procs = [
+                mp.Process(
+                    target=batch_worker_main,
+                    args=(str(args.queue_dir), args.lease_ttl, args.cache_dir,
+                          None, args.max_jobs),
+                    kwargs=dict(max_attempts=args.max_attempts,
+                                retry_backoff=args.backoff, watch=True),
                 )
                 for _ in range(workers)
             ]
-            for future in as_completed(futures):
-                done += future.result()
+            for proc in procs:
+                proc.start()
+            try:
+                for proc in procs:
+                    proc.join()
+            finally:
+                for proc in procs:
+                    if proc.is_alive():
+                        proc.terminate()
+                for proc in procs:
+                    proc.join()
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        batch_worker_main, str(args.queue_dir), args.lease_ttl,
+                        args.cache_dir, None, args.max_jobs,
+                        max_attempts=args.max_attempts,
+                        retry_backoff=args.backoff,
+                    )
+                    for _ in range(workers)
+                ]
+                for future in as_completed(futures):
+                    done += future.result()
+    except KeyboardInterrupt:
+        # a watch daemon's normal exit: held leases were released by the
+        # workers; fall through to merge what they finished
+        print("\nstopping workers")
     queue.merge()
     status = queue.status()
-    print(f"workers completed {done} job(s); queue now: "
-          f"{status.completed}/{status.total} completed, "
-          f"{status.failed} failed, {status.pending} pending")
+    if args.watch:
+        print(f"watched queue now: {status.completed}/{status.total} "
+              f"completed, {status.failed} failed, {status.pending} pending")
+    else:
+        print(f"workers completed {done} job(s); queue now: "
+              f"{status.completed}/{status.total} completed, "
+              f"{status.failed} failed, {status.pending} pending")
     _print_failures(status)
     return 1 if status.failed else 0
 
@@ -269,7 +324,17 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
     queue = WorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
     if args.merge:
         merged = queue.merge()
-        print(f"merged shards -> {merged.path} ({len(merged)} records)")
+        if not args.json:
+            print(f"merged shards -> {merged.path} ({len(merged)} records)")
+    if args.json:
+        # the same document GET /v1/queue/status serves (docs/SERVICE.md)
+        import json
+
+        from .api import queue_status
+
+        doc = queue_status(args.queue_dir, lease_ttl=args.lease_ttl)
+        print(json.dumps(doc, sort_keys=True))
+        return 0 if doc["healthy"] else 1
     status = queue.status()
     print(f"queue {args.queue_dir}: {status.total} jobs")
     print(f"  completed {status.completed}  in-flight {status.claimed}  "
@@ -285,7 +350,25 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
               "will be reclaimed)")
     _print_failures(status)
     _print_degradations(queue.store)
-    return 0
+    # healthy (even empty) -> 0; anything failed or quarantined -> 1,
+    # so cron wrappers and CI can gate on the exit code alone
+    return 1 if status.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceState, run
+
+    try:
+        state = ServiceState(
+            store_dir=args.store,
+            queue_dir=args.queue_dir,
+            workers=args.workers,
+            queue_threshold=args.queue_threshold,
+            lease_ttl=args.lease_ttl,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return run(state, host=args.host, port=args.port)
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -434,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--backoff", type=float, default=1.0,
                         help="base seconds of exponential retry backoff "
                              "(doubles per attempt, plus jitter)")
+    p_work.add_argument("--watch", action="store_true",
+                        help="keep tailing the queue after it drains, "
+                             "executing jobs as producers (e.g. the serve "
+                             "frontend's fan-out) enqueue them; Ctrl-C stops")
     add_backend_arg(p_work)
     p_work.set_defaults(func=_cmd_work)
 
@@ -446,7 +533,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_stat.add_argument("--merge", action="store_true",
                         help="consolidate worker shards into the queue's "
                              "results.jsonl before reporting")
+    p_stat.add_argument("--json", action="store_true",
+                        help="print one machine-readable JSON document — "
+                             "the same payload the evaluation service "
+                             "serves at GET /v1/queue/status")
     p_stat.set_defaults(func=_cmd_sweep_status)
+
+    p_serve = sub.add_parser(
+        "serve", help="leakage evaluation as a service (asyncio HTTP frontend)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="TCP port (0 = pick an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="executor threads evaluating jobs concurrently; "
+                              "they share one warm process-wide solver cache")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="durable results store: identical resubmissions "
+                              "replay the recorded result instead of "
+                              "recomputing")
+    p_serve.add_argument("--queue-dir", default=None, metavar="DIR",
+                         help="shared work-queue directory backing "
+                              "GET /v1/queue/status and --queue-threshold "
+                              "fan-out")
+    p_serve.add_argument("--queue-threshold", type=int, default=None,
+                         metavar="N",
+                         help="fan jobs with iterations >= N out to the work "
+                              "queue (drain them with: repro.cli work "
+                              "--watch); default: evaluate everything "
+                              "in-process")
+    p_serve.add_argument("--lease-ttl", type=float, default=300.0,
+                         help="lease TTL for queue status/fan-out reads")
+    add_backend_arg(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser("explore", help="Sec. 3 power x TSV study")
     p_exp.add_argument("--grid", type=int, default=24)

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field, replace
 from ..floorplan.annealer import AnnealConfig
 from ..floorplan.objectives import FloorplanMode
 from ..mitigation.dummy_tsv import MitigationConfig
+from . import schema
 
 __all__ = ["FlowConfig", "env_int"]
 
@@ -63,6 +64,19 @@ class FlowConfig:
             raise ValueError("replicas must be >= 1")
         if self.exchange_every < 1:
             raise ValueError("exchange_every must be >= 1")
+        if self.mode not in (FloorplanMode.POWER_AWARE, FloorplanMode.TSC_AWARE):
+            raise ValueError(f"unknown floorplanning mode {self.mode!r}")
+
+    def to_json(self) -> dict:
+        """Versioned JSON document, nested configs included
+        (see :mod:`repro.core.schema`)."""
+        return schema.to_json_dict(self)
+
+    @classmethod
+    def from_json(cls, data) -> "FlowConfig":
+        """Rebuild from :meth:`to_json` output; unknown keys warn, bad
+        values raise the same ``ValueError`` as direct construction."""
+        return schema.from_json_dict(cls, data)
 
     def with_seed(self, seed: int) -> "FlowConfig":
         """A copy with the flow and annealer seeds rebased."""

@@ -83,11 +83,29 @@ def run_flow(
     circuit: BenchmarkCircuit,
     stack: StackConfig,
     config: FlowConfig | None = None,
+    progress=None,
 ) -> FlowOutcome:
-    """Floorplan ``circuit`` per the configured setup and verify leakage."""
+    """Floorplan ``circuit`` per the configured setup and verify leakage.
+
+    ``progress`` (optional) receives one dict per pipeline stage
+    transition — ``{"stage", "status", ...}`` for the anneal, voltage
+    assignment, mitigation (one event per insertion round), and
+    verification stages.  This is the hook the service layer
+    (:mod:`repro.service`) streams to HTTP clients as NDJSON; library
+    callers can ignore it entirely.
+    """
     config = config or FlowConfig()
     t_start = time.perf_counter()
     deg_mark = snapshot_degradations()
+
+    def emit(**event: object) -> None:
+        if progress is not None:
+            progress(dict(event))
+
+    emit(
+        stage="anneal", status="start", mode=config.mode,
+        iterations=config.anneal.iterations, replicas=config.replicas,
+    )
 
     if config.replicas > 1:
         result = temper(
@@ -111,6 +129,11 @@ def run_flow(
             config=config.anneal,
         )
     floorplan = result.floorplan
+    emit(
+        stage="anneal", status="done",
+        cost=float(result.cost), feasible=bool(result.feasible),
+        accepted=int(result.accepted),
+    )
 
     # final full-size voltage assignment on the chosen layout
     timing = TimingGraph(
@@ -128,11 +151,30 @@ def run_flow(
     )
     floorplan = floorplan.with_voltages(assignment.voltages)
     timing_report = timing.evaluate(floorplan)
+    emit(
+        stage="assignment", status="done",
+        volumes=int(assignment.num_volumes),
+        critical_delay_ns=float(timing_report.critical_delay_ns),
+    )
 
     mitigation: Optional[MitigationReport] = None
     if config.run_mitigation:
-        mitigation = insert_dummy_tsvs(floorplan, config.mitigation)
+        emit(stage="mitigation", status="start",
+             max_rounds=config.mitigation.max_rounds)
+        mitigation = insert_dummy_tsvs(
+            floorplan,
+            config.mitigation,
+            progress=(
+                None if progress is None
+                else lambda ev: emit(stage="mitigation", status="round", **ev)
+            ),
+        )
         floorplan = mitigation.floorplan
+        emit(
+            stage="mitigation", status="done",
+            rounds=mitigation.rounds, inserted=mitigation.inserted,
+            final_correlation=float(mitigation.final_correlation),
+        )
 
     grid = GridSpec(stack.outline, config.verify_nx, config.verify_ny)
     correlations, power_maps, thermal_maps, peak = verify_correlations(floorplan, grid)
@@ -157,6 +199,12 @@ def run_flow(
         runtime_s=runtime,
         feasible=result.feasible,
         degradations=degradations_since(deg_mark),
+    )
+    emit(
+        stage="verify", status="done",
+        peak_temp_k=float(peak),
+        correlation_r1=metrics.correlation_r1,
+        correlation_r2=metrics.correlation_r2,
     )
     return FlowOutcome(
         metrics=metrics,

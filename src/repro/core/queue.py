@@ -937,6 +937,7 @@ def run_worker(
     wait: bool = True,
     poll_interval: Optional[float] = None,
     only_keys: Optional[Set[str]] = None,
+    watch: bool = False,
 ) -> int:
     """Drain a queue: claim, execute, record, repeat.  Returns jobs done.
 
@@ -961,6 +962,11 @@ def run_worker(
     terminally failed, or quarantined — which is what lets a surviving
     worker outlive a crashed one and reclaim its expired lease.
     ``wait=False`` exits at the first moment nothing is claimable.
+    ``watch=True`` never exits on a drained queue at all: the worker
+    becomes a daemon tailing a *live* queue (the evaluation service's
+    fan-out target, ``repro.cli work --watch``), executing jobs as
+    producers enqueue them, until ``max_jobs`` or an interrupt/SIGTERM
+    stops it.
     """
     if not isinstance(queue, WorkQueue):
         queue = WorkQueue(queue, lease_ttl=lease_ttl if lease_ttl else 300.0)
@@ -992,6 +998,9 @@ def run_worker(
         while max_jobs is None or done < max_jobs:
             lease = queue.claim(worker, only_keys=only_keys)
             if lease is None:
+                if watch:
+                    time.sleep(poll)  # tail the live queue for new jobs
+                    continue
                 if not wait or queue.drained(only_keys):
                     break
                 time.sleep(poll)  # in-flight work elsewhere may yet expire

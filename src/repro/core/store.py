@@ -205,6 +205,16 @@ class ResultsStore:
         """All durable results, keyed by job key (last record wins)."""
         return {key: metrics for key, (metrics, _epoch) in self.records().items()}
 
+    def get(self, key: str) -> Optional[FlowMetrics]:
+        """The recorded result for one job key, or None when absent.
+
+        The point lookup the service layer's resubmission dedupe rides:
+        an identical :class:`~repro.api.JobSpec` submitted again returns
+        this record instead of recomputing the flow.
+        """
+        entry = self.records().get(key)
+        return entry[0] if entry is not None else None
+
     def keys(self) -> List[str]:
         return list(self.records())
 

@@ -187,6 +187,32 @@ class BatchJob:
     replicas: int = 1
     exchange_every: int = 50
 
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.grid < 2:
+            raise ValueError("grid must be >= 2")
+        if self.num_dies < 2:
+            raise ValueError("num_dies must be >= 2")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.exchange_every < 1:
+            raise ValueError("exchange_every must be >= 1")
+
+    def to_json(self) -> dict:
+        """Versioned JSON document (see :mod:`repro.core.schema`)."""
+        from ..core import schema
+
+        return schema.to_json_dict(self)
+
+    @classmethod
+    def from_json(cls, data) -> "BatchJob":
+        """Rebuild from :meth:`to_json` output (or a legacy ``asdict``
+        payload); unknown keys warn, bad values raise ``ValueError``."""
+        from ..core import schema
+
+        return schema.from_json_dict(cls, data)
+
     def label(self) -> str:
         return f"{self.benchmark}/{self.mode}/seed{self.seed}"
 
@@ -246,9 +272,12 @@ def execute_batch_payload(payload: dict) -> FlowMetrics:
 
     This is what ``repro.cli work`` workers and the :func:`run_batch`
     frontend both run, so single-host and multi-host sweeps execute the
-    exact same flow path.
+    exact same flow path.  Payloads travel as JSON (queue files, HTTP
+    bodies), so they deserialize through the tolerant
+    :meth:`BatchJob.from_json` path: a queue written by a newer revision
+    with extra fields still executes here.
     """
-    return _execute_batch_job(BatchJob(**payload))
+    return _execute_batch_job(BatchJob.from_json(payload))
 
 
 def batch_worker_main(
@@ -260,6 +289,7 @@ def batch_worker_main(
     only_keys: Optional[frozenset] = None,
     max_attempts: int = 1,
     retry_backoff: float = 1.0,
+    watch: bool = False,
 ) -> int:
     """One queue-draining worker process (the ``repro.cli work`` unit).
 
@@ -270,8 +300,10 @@ def batch_worker_main(
     budget and backoff base (see :class:`~repro.core.queue.WorkQueue`);
     with ``max_attempts > 1`` crash-steals are bounded by the same
     budget, so a poison job quarantines instead of killing the whole
-    pool round after round.  Returns the number of jobs this worker
-    completed.
+    pool round after round.  ``watch=True`` turns the worker into a
+    daemon that keeps tailing the queue after it drains (``repro.cli
+    work --watch``), serving jobs the evaluation service fans out as
+    they arrive.  Returns the number of jobs this worker completed.
     """
     # mark this process as a pool worker: tempered flows inside it default
     # to serial replica advancement instead of nesting a second pool
@@ -292,6 +324,7 @@ def batch_worker_main(
         worker_id=worker_id,
         max_jobs=max_jobs,
         only_keys=only_keys,
+        watch=watch,
     )
 
 

@@ -84,6 +84,20 @@ class AnnealConfig:
         if not (0.0 < self.initial_acceptance < 1.0):
             raise ValueError("initial acceptance must be in (0, 1)")
 
+    def to_json(self) -> dict:
+        """Versioned JSON document (see :mod:`repro.core.schema`)."""
+        from ..core import schema
+
+        return schema.to_json_dict(self)
+
+    @classmethod
+    def from_json(cls, data) -> "AnnealConfig":
+        """Rebuild from :meth:`to_json` output; unknown keys warn, bad
+        values raise the same ``ValueError`` as direct construction."""
+        from ..core import schema
+
+        return schema.from_json_dict(cls, data)
+
 
 @dataclass
 class AnnealResult:

@@ -86,6 +86,30 @@ class MitigationConfig:
     #: (:func:`~repro.thermal.steady_state.woodbury_crossover_rank`)
     rebase_rank: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError("samples must be >= 1")
+        if self.max_rounds < 0:
+            raise ValueError("max_rounds must be >= 0")
+        if self.tsvs_per_round < 1:
+            raise ValueError("tsvs_per_round must be >= 1")
+        if self.candidates_per_round < 1:
+            raise ValueError("candidates_per_round must be >= 1")
+
+    def to_json(self) -> dict:
+        """Versioned JSON document (see :mod:`repro.core.schema`)."""
+        from ..core import schema
+
+        return schema.to_json_dict(self)
+
+    @classmethod
+    def from_json(cls, data) -> "MitigationConfig":
+        """Rebuild from :meth:`to_json` output; unknown keys warn, bad
+        values raise the same ``ValueError`` as direct construction."""
+        from ..core import schema
+
+        return schema.from_json_dict(cls, data)
+
 
 @dataclass
 class MitigationReport:
@@ -126,11 +150,17 @@ def _score(correlations: Sequence[float], target_die: Optional[int]) -> float:
 def insert_dummy_tsvs(
     floorplan: Floorplan3D,
     config: MitigationConfig | None = None,
+    progress=None,
 ) -> MitigationReport:
     """Run the stability-guided dummy-TSV insertion loop.
 
     Returns a report whose ``floorplan`` carries the inserted dummy TSVs.
     The input floorplan is not modified.
+
+    ``progress`` (optional) is called with one dict per completed round —
+    ``{"round", "score", "accepted", "inserted_total"}`` — which is what
+    the service layer streams to clients as per-round NDJSON events.  A
+    ``None`` callback costs nothing.
     """
     config = config or MitigationConfig()
     if config.candidates_per_round < 1:
@@ -224,6 +254,11 @@ def insert_dummy_tsvs(
 
         rounds += 1
         if not candidate_bins:
+            if progress is not None:
+                progress({
+                    "round": rounds, "score": trace[-1],
+                    "accepted": False, "inserted_total": inserted,
+                })
             break  # every bin is occupied; nothing left to try
 
         # speculative pass: score every candidate group against the same
@@ -261,6 +296,11 @@ def insert_dummy_tsvs(
         cand_score, bins, candidate, cand_solver, cand_corr = best
         if cand_score >= trace[-1] - 1e-6:
             # sweet spot reached: no candidate group keeps helping
+            if progress is not None:
+                progress({
+                    "round": rounds, "score": trace[-1],
+                    "accepted": False, "inserted_total": inserted,
+                })
             break
         inserted += len(candidate.tsvs) - len(fp.tsvs)
         fp = candidate
@@ -299,6 +339,11 @@ def insert_dummy_tsvs(
                     committed_rank = committed
         for (j, i) in bins:
             exclude[j, i] = True
+        if progress is not None:
+            progress({
+                "round": rounds, "score": cand_score,
+                "accepted": True, "inserted_total": inserted,
+            })
 
     return MitigationReport(
         floorplan=fp,

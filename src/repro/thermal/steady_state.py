@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -557,15 +558,32 @@ class SolverCache:
         self.misses = 0
         self.disk_hits = 0
         self._entries: "OrderedDict[tuple, SteadyStateSolver]" = OrderedDict()
+        #: serializes lookups/factorizations across threads — the service
+        #: frontend (:mod:`repro.service`) runs flows on a thread pool
+        #: against this one process-level cache, so two concurrent
+        #: requests for the same network must resolve to one
+        #: factorization (a miss, then a hit), never two racing builds
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of the hit/miss counters (service responses)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "entries": len(self._entries),
+            }
+
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
 
     def drop_persisted_solvers(self) -> int:
         """Evict entries whose solve goes through persisted factors.
@@ -578,14 +596,15 @@ class SolverCache:
         a native cholmod/superlu entry that merely *could* persist stays.
         Returns the number of evicted entries.
         """
-        stale = [
-            key
-            for key, solver in self._entries.items()
-            if _solves_through_persisted_factors(solver)
-        ]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, solver in self._entries.items()
+                if _solves_through_persisted_factors(solver)
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     @staticmethod
     def _digest_key(key: tuple) -> str:
@@ -630,33 +649,34 @@ class SolverCache:
         cross-check.  The upgrade replaces the cache entry, so it is
         paid at most once per network.
         """
-        densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
-        backend = self._resolve_backend(grid)
-        key = self._key(stack_cfg, grid, densities, stack_kwargs, backend.name)
-        solver = self._entries.get(key)
-        if solver is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            if isinstance(solver, WoodburySolver):
-                if self.disk_dir is None:
-                    solver = solver.rebase()
-                else:
-                    # go through the disk layer like a cache miss would,
-                    # so the factorization is persisted (or loaded) and
-                    # the shared cache does not depend on request order
-                    solver = self._full_solver(
-                        key, solver.stack, network=solver.network,
-                        backend=backend,
-                    )
-                self._entries[key] = solver
+        with self._lock:
+            densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
+            backend = self._resolve_backend(grid)
+            key = self._key(stack_cfg, grid, densities, stack_kwargs, backend.name)
+            solver = self._entries.get(key)
+            if solver is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                if isinstance(solver, WoodburySolver):
+                    if self.disk_dir is None:
+                        solver = solver.rebase()
+                    else:
+                        # go through the disk layer like a cache miss would,
+                        # so the factorization is persisted (or loaded) and
+                        # the shared cache does not depend on request order
+                        solver = self._full_solver(
+                            key, solver.stack, network=solver.network,
+                            backend=backend,
+                        )
+                    self._entries[key] = solver
+                return solver
+            self.misses += 1
+            stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
+            solver = self._full_solver(key, stack, backend=backend)
+            self._entries[key] = solver
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
             return solver
-        self.misses += 1
-        stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
-        solver = self._full_solver(key, stack, backend=backend)
-        self._entries[key] = solver
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return solver
 
     def _full_solver(
         self,
@@ -739,21 +759,22 @@ class SolverCache:
         entries are never persisted to ``disk_dir`` (they carry no
         factorization of their own).
         """
-        densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
-        backend = self._resolve_backend(grid)
-        key = self._key(stack_cfg, grid, densities, stack_kwargs, backend.name)
-        solver = self._entries.get(key)
-        if solver is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
+        with self._lock:
+            densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
+            backend = self._resolve_backend(grid)
+            key = self._key(stack_cfg, grid, densities, stack_kwargs, backend.name)
+            solver = self._entries.get(key)
+            if solver is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return solver
+            self.misses += 1
+            stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
+            solver = WoodburySolver(base, stack, crossover_rank=crossover_rank)
+            self._entries[key] = solver
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
             return solver
-        self.misses += 1
-        stack = build_stack(stack_cfg, grid, tsv_density=densities, **stack_kwargs)
-        solver = WoodburySolver(base, stack, crossover_rank=crossover_rank)
-        self._entries[key] = solver
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return solver
 
     def incremental_solver_for_floorplan(
         self,

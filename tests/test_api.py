@@ -1,0 +1,239 @@
+"""Tests for the versioned schema layer and the repro.api facade."""
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    JobResult,
+    JobSpec,
+    evaluate_floorplan,
+    queue_status,
+    run_flow_job,
+    submit,
+)
+from repro.core import schema
+from repro.core.config import FlowConfig
+from repro.core.flow import run_flow
+from repro.core.schema import SchemaWarning
+from repro.core.store import ResultsStore
+from repro.exploration.study import BatchJob
+from repro.floorplan.annealer import AnnealConfig
+from repro.floorplan.objectives import FloorplanMode
+from repro.mitigation.dummy_tsv import MitigationConfig
+
+SPEC = dict(benchmark="n100", iterations=25, grid=12)
+
+
+class TestSchemaRoundTrip:
+    def test_flow_config_nested_roundtrip(self):
+        cfg = FlowConfig(
+            mode=FloorplanMode.TSC_AWARE,
+            anneal=AnnealConfig(iterations=42, seed=3),
+            mitigation=MitigationConfig(samples=5, max_rounds=1),
+            verify_nx=16, verify_ny=16, replicas=2, exchange_every=10,
+        )
+        doc = cfg.to_json()
+        assert doc["schema_version"] == schema.SCHEMA_VERSION
+        assert doc["anneal"]["schema_version"] == schema.SCHEMA_VERSION
+        clone = FlowConfig.from_json(json.loads(json.dumps(doc)))
+        assert clone == cfg
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (AnnealConfig, dict(iterations=7, seed=2)),
+        (MitigationConfig, dict(samples=3, tsvs_per_round=2)),
+        (BatchJob, dict(benchmark="n100", seed=4, replicas=2)),
+        (JobSpec, dict(benchmark="n300", mode="tsc_aware", grid=16)),
+    ])
+    def test_dataclass_roundtrip(self, cls, kwargs):
+        obj = cls(**kwargs)
+        assert cls.from_json(json.loads(json.dumps(obj.to_json()))) == obj
+
+    def test_unknown_keys_warn_and_are_ignored(self):
+        doc = dict(JobSpec(**SPEC).to_json(), future_field=1, other=2)
+        with pytest.warns(SchemaWarning, match="future_field, other"):
+            spec = JobSpec.from_json(doc)
+        assert spec == JobSpec(**SPEC)
+
+    def test_newer_schema_version_warns_but_loads(self):
+        doc = dict(JobSpec(**SPEC).to_json(), schema_version=99)
+        with pytest.warns(SchemaWarning, match="newer"):
+            assert JobSpec.from_json(doc) == JobSpec(**SPEC)
+
+    def test_bad_values_raise_post_init_valueerrors(self):
+        base = JobSpec(**SPEC).to_json()
+        with pytest.raises(ValueError, match="iterations must be >= 1"):
+            JobSpec.from_json(dict(base, iterations=0))
+        with pytest.raises(ValueError, match="mode must be"):
+            JobSpec.from_json(dict(base, mode="thermal_oblivious"))
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            JobSpec.from_json(dict(base, benchmark="n9999"))
+        with pytest.raises(ValueError):
+            JobSpec.from_json(dict(base, iterations="many"))
+        with pytest.raises(ValueError, match="candidates_per_round"):
+            MitigationConfig.from_json(
+                dict(MitigationConfig().to_json(), candidates_per_round=0)
+            )
+
+    def test_scalar_coercion_over_the_wire(self):
+        doc = dict(JobSpec(**SPEC).to_json(), iterations="1500", seed=2.0)
+        spec = JobSpec.from_json(doc)
+        assert spec.iterations == 1500 and spec.seed == 2
+        with pytest.raises(ValueError):
+            JobSpec.from_json(dict(doc, seed=2.5))
+        with pytest.raises(ValueError):
+            JobSpec.from_json(dict(doc, seed=True))
+
+    def test_legacy_asdict_payload_still_loads(self):
+        from dataclasses import asdict
+
+        job = BatchJob(benchmark="n100", iterations=99)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no version stamp is not a warning
+            assert BatchJob.from_json(asdict(job)) == job
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            JobSpec.from_json("n100")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        benchmark=st.sampled_from(["n100", "n200", "n300"]),
+        mode=st.sampled_from(["power_aware", "tsc_aware"]),
+        seed=st.integers(0, 10_000),
+        iterations=st.integers(1, 100_000),
+        grid=st.integers(2, 128),
+        num_dies=st.integers(2, 4),
+        replicas=st.integers(1, 8),
+        exchange_every=st.integers(1, 500),
+    )
+    def test_jobspec_roundtrip_property(self, **kwargs):
+        spec = JobSpec(**kwargs)
+        wire = json.loads(json.dumps(spec.to_json()))
+        assert JobSpec.from_json(wire) == spec
+        assert JobSpec.from_json(wire).key() == spec.key()
+
+
+class TestJobSpec:
+    def test_key_matches_batch_job(self):
+        spec = JobSpec("n100", mode="tsc_aware", seed=3, replicas=2)
+        assert spec.key() == spec.to_batch_job().key()
+        assert spec.job_id() != JobSpec("n100", seed=4).job_id()
+
+    def test_flow_config_matches_batch_executor(self):
+        cfg = JobSpec("n100", iterations=77, seed=5, grid=16).to_flow_config()
+        assert cfg.anneal.iterations == 77
+        assert cfg.anneal.seed == 5
+        assert cfg.verify_nx == cfg.verify_ny == 16
+
+
+class TestFacade:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return JobSpec(**SPEC)
+
+    def test_run_flow_job_matches_offline_oracle(self, spec, tmp_path):
+        from repro.benchmarks import load
+
+        result = run_flow_job(spec, store=tmp_path)
+        circuit, stack = load(spec.benchmark, num_dies=spec.num_dies)
+        oracle = run_flow(circuit, stack, spec.to_flow_config()).metrics
+        produced = result.metrics.to_dict()
+        expected = oracle.to_dict()
+        for excluded in ("runtime_s", "degradations"):
+            produced.pop(excluded, None)
+            expected.pop(excluded, None)
+        assert produced == expected
+
+    def test_store_reuse_and_forced_recompute(self, spec, tmp_path):
+        store = ResultsStore(tmp_path)
+        first = run_flow_job(spec, store=store)
+        assert not first.reused
+        replay = run_flow_job(spec, store=store)
+        assert replay.reused
+        assert replay.metrics.correlation_r1 == first.metrics.correlation_r1
+        # admission-final path: recompute rides the now-warm solver cache
+        forced = run_flow_job(spec, store=store, reuse_store=False)
+        assert not forced.reused
+        assert forced.solver_cache["hits"] > 0
+        assert forced.solver_cache["misses"] == 0
+        assert forced.metrics.correlation_r1 == first.metrics.correlation_r1
+
+    def test_progress_events_stream_stages(self, spec):
+        events = []
+        run_flow_job(spec, progress=events.append)
+        stages = [(e.get("stage"), e.get("status")) for e in events]
+        assert ("anneal", "start") in stages
+        assert ("anneal", "done") in stages
+        assert ("assignment", "done") in stages
+        assert stages[-1] == ("verify", "done")
+
+    def test_jobresult_roundtrip(self, spec, tmp_path):
+        result = run_flow_job(spec, store=tmp_path)
+        clone = JobResult.from_json(json.loads(json.dumps(result.to_json())))
+        assert clone.metrics.to_dict() == result.metrics.to_dict()
+        assert clone.solver_cache == result.solver_cache
+        assert clone.job_id == spec.job_id()
+
+    def test_submit_and_queue_status_document(self, spec, tmp_path):
+        qdir = tmp_path / "q"
+        first = submit(spec, qdir)
+        assert first["enqueued"] and first["key"] == spec.key()
+        assert not submit(spec, qdir)["enqueued"]  # idempotent per key
+        doc = queue_status(qdir)
+        assert doc["total"] == 1 and doc["pending"] == 1
+        assert doc["healthy"] is True
+        assert doc["schema_version"] == 1
+        json.dumps(doc)  # the document is wire-ready as-is
+
+    def test_queue_status_empty_queue_is_healthy(self, tmp_path):
+        doc = queue_status(tmp_path / "nothing")
+        assert doc["total"] == 0 and doc["healthy"] is True
+
+
+class TestEvaluateFloorplan:
+    def test_documents_correlations(self, tmp_path):
+        from repro.api import execute_spec
+
+        outcome = execute_spec(JobSpec(**SPEC))
+        doc = evaluate_floorplan(outcome.floorplan, nx=12, ny=12)
+        assert len(doc["correlations"]) == 2
+        assert all(-1.0 <= r <= 1.0 for r in doc["correlations"])
+        assert doc["peak_temp_k"] > 293.0
+        assert doc["grid"] == [12, 12]
+        json.dumps(doc)
+
+
+class TestMitigationProgress:
+    def test_per_round_events(self):
+        from repro.benchmarks.generator import BenchmarkSpec, generate_circuit
+        from repro.layout.die import StackConfig
+
+        spec = BenchmarkSpec("apiprog", 0, 14, 1, 36, 8, 0.16, 1.0, seed=9)
+        circ = generate_circuit(spec)
+        stack = StackConfig(spec.outline)
+        config = FlowConfig(
+            mode=FloorplanMode.TSC_AWARE,
+            anneal=AnnealConfig(
+                iterations=120, seed=2, calibration_samples=6,
+                grid_nx=16, grid_ny=16,
+            ),
+            mitigation=MitigationConfig(samples=6, max_rounds=2,
+                                        grid_nx=16, grid_ny=16),
+            verify_nx=16, verify_ny=16,
+        )
+        events = []
+        outcome = run_flow(circ, stack, config, progress=events.append)
+        rounds = [e for e in events
+                  if e.get("stage") == "mitigation" and e.get("status") == "round"]
+        assert outcome.mitigation is not None
+        assert len(rounds) == outcome.mitigation.rounds
+        for event in rounds:
+            assert set(event) >= {"stage", "status", "round", "accepted",
+                                  "inserted_total"}
+        done = [e for e in events
+                if e.get("stage") == "mitigation" and e.get("status") == "done"]
+        assert done and done[0]["inserted"] == outcome.mitigation.inserted

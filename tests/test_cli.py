@@ -47,6 +47,25 @@ class TestParser:
             ["sweep-status", "--queue-dir", "/tmp/q", "--merge"]
         )
         assert args.merge is True
+        assert args.json is False
+
+    def test_work_watch_flag(self):
+        args = build_parser().parse_args(
+            ["work", "--queue-dir", "/tmp/q", "--watch"]
+        )
+        assert args.watch is True
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.store is None
+        assert args.queue_threshold is None
+
+    def test_serve_threshold_without_queue_dir_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--queue-threshold", "100"])
 
 
 class TestCommands:
@@ -111,3 +130,32 @@ class TestQueueCommands:
         with pytest.raises(SystemExit):
             main(["enqueue", "n100", "--seeds", "0",
                   "--queue-dir", str(tmp_path)])
+
+    def test_enqueue_rejects_bad_iterations(self, tmp_path):
+        # validation now happens at JobSpec construction, before any
+        # queue file is written
+        with pytest.raises(SystemExit, match="iterations"):
+            main(["enqueue", "n100", "--iterations", "0",
+                  "--queue-dir", str(tmp_path)])
+
+    def test_sweep_status_json_document(self, tmp_path, capsys):
+        """--json prints the GET /v1/queue/status payload; a healthy —
+        even empty — queue exits 0."""
+        import json
+
+        qdir = str(tmp_path / "q")
+        assert main(["sweep-status", "--queue-dir", qdir, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total"] == 0
+        assert doc["healthy"] is True
+
+        assert main(["enqueue", "n100", "--modes", "power_aware",
+                     "--seeds", "1", "--iterations", "25", "--grid", "12",
+                     "--queue-dir", qdir]) == 0
+        capsys.readouterr()
+        assert main(["sweep-status", "--queue-dir", qdir, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["pending"] == 1 and doc["completed"] == 0
+        from repro.api import queue_status
+
+        assert doc == json.loads(json.dumps(queue_status(qdir)))

@@ -478,7 +478,9 @@ class TestRetryAndQuarantine:
         queue.enqueue("bad", {})
         lease = queue.claim("w0")
         queue.record_failure(lease, "boom", "w0")
-        assert main(["sweep-status", "--queue-dir", str(tmp_path)]) == 0
+        # an unhealthy queue is an exit-code 1 (healthy-but-empty is 0),
+        # so sweep-status can gate cron wrappers and CI on its own
+        assert main(["sweep-status", "--queue-dir", str(tmp_path)]) == 1
         out = capsys.readouterr().out
         assert "QUARANTINED bad" in out
         assert "quarantined 1" in out

@@ -136,10 +136,12 @@ class TestSpeculativeRounds:
         assert np.all(diffs < 0) or len(report.correlation_trace) == 1
 
     def test_candidate_count_validation(self):
-        fp = _hotspot_floorplan()
-        cfg = MitigationConfig(candidates_per_round=0)
+        # validation now happens at construction (the config round-trips
+        # over the wire; a bad document must fail before a flow starts)
         with pytest.raises(ValueError):
-            insert_dummy_tsvs(fp, cfg)
+            MitigationConfig(candidates_per_round=0)
+        with pytest.raises(ValueError):
+            MitigationConfig(samples=0)
 
     def test_speculative_rounds_never_reuse_a_bin(self):
         """Accepted groups mark their bins occupied; no analysis bin may

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the HTTP evaluation service, stdlib only.
+
+Boots ``repro.cli serve`` as a real subprocess on an ephemeral port,
+then drives the documented client story (docs/SERVICE.md) with urllib:
+
+1. ``GET /v1/healthz`` answers;
+2. ``POST /v1/jobs`` returns 202 + Location, and polling
+   ``GET /v1/jobs/<id>`` reaches ``completed`` with flow metrics;
+3. ``GET /v1/jobs/<id>/events`` is valid NDJSON bracketed by the
+   service start/terminal events;
+4. resubmitting the identical spec replays the ResultsStore record
+   (``dispatch: store``, ``reused: true``) without recomputation;
+5. a malformed spec is rejected with HTTP 400.
+
+Exit 0 on success; any failure raises and exits nonzero.  Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py [--iterations 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def request(method: str, url: str, doc=None, timeout=60):
+    data = json.dumps(doc).encode() if doc is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def wait_for_announce(proc: subprocess.Popen, deadline: float) -> str:
+    """Read the serve banner and return the base URL it announces."""
+    line = ""
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited early with rc={proc.returncode}")
+        line = proc.stdout.readline()
+        if "serving on " in line:
+            return line.split("serving on ", 1)[1].split()[0]
+    raise SystemExit(f"server never announced its address (last line: {line!r})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=60)
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="overall smoke deadline in seconds")
+    args = parser.parse_args()
+    deadline = time.monotonic() + args.timeout
+
+    spec = {"benchmark": "n100", "iterations": args.iterations, "grid": 16}
+    store = tempfile.mkdtemp(prefix="service-smoke-")
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"), PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--store", store, "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        base = wait_for_announce(proc, deadline)
+        print(f"server up at {base}")
+
+        status, body = request("GET", f"{base}/healthz")
+        assert status == 200, (status, body)
+        health = json.loads(body)
+        assert health["status"] == "ok", health
+        print("healthz OK:", health["jobs"])
+
+        status, body = request("POST", f"{base}/jobs", spec)
+        assert status == 202, (status, body)
+        job = json.loads(body)
+        job_id = job["id"]
+        print(f"submitted {job_id} ({job['status']})")
+
+        while True:
+            status, body = request("GET", f"{base}/jobs/{job_id}")
+            assert status == 200, (status, body)
+            doc = json.loads(body)
+            if doc["status"] in ("completed", "failed"):
+                break
+            assert time.monotonic() < deadline, "job never finished"
+            time.sleep(0.5)
+        assert doc["status"] == "completed", doc
+        metrics = doc["result"]["metrics"]
+        assert metrics["benchmark"] == "n100", metrics
+        assert not doc["result"]["reused"], doc["result"]
+        print(f"completed: r1={metrics['correlation_r1']:.3f} "
+              f"peak={metrics['peak_temp_k']:.1f}K")
+
+        status, body = request("GET", f"{base}/jobs/{job_id}/events")
+        assert status == 200, (status, body)
+        events = [json.loads(line) for line in body.splitlines() if line.strip()]
+        stages = [(e.get("stage"), e.get("status")) for e in events]
+        assert stages[0] == ("service", "running"), stages[:3]
+        assert ("anneal", "start") in stages, stages
+        assert ("verify", "done") in stages, stages
+        assert stages[-1] == ("service", "completed"), stages[-3:]
+        print(f"event stream OK: {len(events)} NDJSON events")
+
+        status, body = request("POST", f"{base}/jobs?wait=1", spec)
+        assert status == 200, (status, body)
+        replay = json.loads(body)
+        assert replay["dispatch"] == "store", replay
+        assert replay["result"]["reused"] is True, replay["result"]
+        for name, value in metrics.items():
+            if name in ("runtime_s", "degradations"):
+                continue
+            assert replay["result"]["metrics"][name] == value, name
+        print("resubmission replayed the store record, no recompute")
+
+        status, body = request("POST", f"{base}/jobs", dict(spec, iterations=0))
+        assert status == 400 and b"iterations" in body, (status, body)
+        print("bad spec rejected with 400")
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
