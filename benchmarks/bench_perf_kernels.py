@@ -577,6 +577,45 @@ def test_anneal_tempered_4replica_n100(benchmark, anneal_bench_setup):
     benchmark.pedantic(tempered, rounds=1, iterations=1)
 
 
+# -- 2.5D interposer steady state (topology layer) --------------------------------
+#
+# The side-by-side interposer stack discretizes roughly twice the nodes
+# of the vertical stack at the same per-die grid (dies spread out instead
+# of stacking up).  The factorized steady solve is tracked against the
+# committed baseline like any hot kernel, and the ratio gate pins it at
+# >= 3x over refactorizing the interposer network per solve — the same
+# LU-reuse claim the 3D path makes, restated on the wide grid.
+
+
+@pytest.fixture(scope="module")
+def interposer_setup(n100_state):
+    from repro.thermal.stack import TopologyConfig
+
+    _, stack_cfg, _ = n100_state
+    grid = GridSpec(stack_cfg.outline, 64, 64)
+    topo = TopologyConfig(kind="2.5d")
+    cells = grid.nx * grid.ny
+    pm = [np.full(grid.shape, 4.0 / cells) for _ in range(2)]
+    return stack_cfg, grid, topo, pm
+
+
+def test_interposer_steady_state_64(benchmark, interposer_setup):
+    stack_cfg, grid, topo, pm = interposer_setup
+    solver = SteadyStateSolver(build_stack(stack_cfg, grid, topology=topo))
+    benchmark(solver.solve, pm)
+
+
+def test_interposer_refactorize_64(benchmark, interposer_setup):
+    stack_cfg, grid, topo, pm = interposer_setup
+
+    def refactorize():
+        return SteadyStateSolver(
+            build_stack(stack_cfg, grid, topology=topo)
+        ).solve(pm)
+
+    benchmark.pedantic(refactorize, rounds=2, iterations=1)
+
+
 # -- vectorized local correlation map -------------------------------------------
 
 

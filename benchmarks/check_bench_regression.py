@@ -61,6 +61,7 @@ TRACKED = [
     "test_persisted_rhs_compiled_64",
     "test_mitigation_candidate_woodbury_compiled_64",
     "test_anneal_serial_n100",
+    "test_interposer_steady_state_64",
 ]
 
 #: paired-kernel speedup floors, checked within one run (so they are
@@ -92,6 +93,14 @@ RATIO_GATES = [
         "fast": "test_mitigation_candidate_woodbury_cholmod_64",
         "slow": "test_mitigation_candidate_refactorize_64",
         "min_ratio": 3.0,
+    },
+    # the 2.5D interposer steady solve must stay a cheap back-
+    # substitution against refactorizing the (wider) interposer network
+    # per solve — the topology layer rides the same cached-LU machinery
+    {
+        "fast": "test_interposer_steady_state_64",
+        "slow": "test_interposer_refactorize_64",
+        "min_ratio": 2.0,
     },
     # parallel tempering at equal total move budget: 4 replicas across 4
     # cores must beat the serial chain's wall-clock (the tempered kernel

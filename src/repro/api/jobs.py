@@ -49,6 +49,11 @@ class JobSpec:
     num_dies: int = 2
     replicas: int = 1
     exchange_every: int = 50
+    #: integration style ("3d" | "2.5d") and mitigation mode
+    #: ("static" | "dvfs" | "combined"); validated by the BatchJob
+    #: round-trip below, exactly like the numeric bounds
+    topology: str = "3d"
+    mitigation_mode: str = "static"
 
     def __post_init__(self) -> None:
         from ..benchmarks import benchmark_names
@@ -90,6 +95,8 @@ class JobSpec:
             num_dies=self.num_dies,
             replicas=self.replicas,
             exchange_every=self.exchange_every,
+            topology=self.topology,
+            mitigation_mode=self.mitigation_mode,
         )
 
     def to_flow_config(self):
@@ -100,10 +107,13 @@ class JobSpec:
         evaluated in-process by the service produces metrics
         bit-identical to the same job drained from a work queue.
         """
+        from dataclasses import replace as dc_replace
+
         from ..core.config import FlowConfig
         from ..floorplan.annealer import AnnealConfig
+        from ..thermal.stack import TopologyConfig
 
-        return FlowConfig(
+        config = FlowConfig(
             mode=self.mode,
             anneal=AnnealConfig(iterations=self.iterations, seed=self.seed),
             verify_nx=self.grid,
@@ -111,7 +121,16 @@ class JobSpec:
             seed=self.seed,
             replicas=self.replicas,
             exchange_every=self.exchange_every,
+            topology=TopologyConfig(kind=self.topology),
         )
+        if self.mitigation_mode != "static":
+            config = dc_replace(
+                config,
+                mitigation=dc_replace(
+                    config.mitigation, mode=self.mitigation_mode
+                ),
+            )
+        return config
 
     def key(self) -> str:
         """Results-store identity, shared with ``BatchJob.key()``."""

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..layout.floorplan import Floorplan3D
 from ..layout.grid import GridSpec
-from ..thermal.stack import build_stack
+from ..thermal.stack import stack_for_floorplan
 from ..thermal.transient import TransientSolver
 
 __all__ = ["CovertChannelResult", "run_covert_channel", "channel_capacity_sweep"]
@@ -80,8 +80,9 @@ def run_covert_channel(
     if not bits:
         raise ValueError("need at least one bit to transmit")
     grid = GridSpec(floorplan.stack.outline, grid_n, grid_n)
-    density = floorplan.tsv_density((0, 1), grid)
-    solver = TransientSolver(build_stack(floorplan.stack, grid, tsv_density=density))
+    # route through the owner module so *all* adjacent die pairs (not a
+    # hardcoded (0, 1)) contribute their normalized TSV densities
+    solver = TransientSolver(stack_for_floorplan(floorplan, grid))
 
     base_maps = [
         floorplan.power_map(d, grid) for d in range(floorplan.stack.num_dies)

@@ -70,7 +70,14 @@ def _print_metrics(m) -> None:
           f"volumes={m.voltage_volumes}")
 
 
-def _spec_from_args(args: argparse.Namespace, benchmark: str, mode: str, seed: int):
+def _spec_from_args(
+    args: argparse.Namespace,
+    benchmark: str,
+    mode: str,
+    seed: int,
+    topology: str | None = None,
+    mitigation_mode: str | None = None,
+):
     """One validated JobSpec from CLI knobs (shared arg->spec path)."""
     from .api import JobSpec
 
@@ -83,6 +90,14 @@ def _spec_from_args(args: argparse.Namespace, benchmark: str, mode: str, seed: i
             grid=args.grid,
             replicas=getattr(args, "replicas", 1),
             exchange_every=getattr(args, "exchange_every", 50),
+            topology=(
+                topology if topology is not None
+                else getattr(args, "topology", "3d")
+            ),
+            mitigation_mode=(
+                mitigation_mode if mitigation_mode is not None
+                else getattr(args, "mitigation_mode", "static")
+            ),
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -107,12 +122,20 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         res = outcome.anneal_result
         print(f"  replicas={res.replicas}  exchange_every={config.exchange_every}  "
               f"swaps={res.exchange_accepts}/{res.exchange_attempts}")
+    if spec.topology != "3d" or spec.mitigation_mode != "static":
+        print(f"  topology={spec.topology}  mitigation={spec.mitigation_mode}")
     _print_metrics(outcome.metrics)
     if outcome.mitigation is not None:
         mit = outcome.mitigation
         print(f"  mitigation: {mit.woodbury_candidates} Woodbury candidates, "
               f"{mit.refactorized_candidates} refactorized, "
               f"{mit.rebaselines} re-baseline(s)")
+    if outcome.dvfs is not None:
+        d = outcome.dvfs
+        print(f"  dvfs: baseline |r|={d.baseline_score:.3f} "
+              f"mitigated |r|={d.mitigated_score:.3f} "
+              f"reduction={d.reduction:+.3f} "
+              f"({d.traces} traces, {d.schedule.windows} windows)")
     return 0
 
 
@@ -135,11 +158,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _build_jobs(args: argparse.Namespace) -> list:
-    """The (benchmark, mode, seed) JobSpec grid shared by batch/enqueue."""
+    """The (benchmark, mode, seed, topology, mitigation) JobSpec grid
+    shared by batch/enqueue."""
     if args.seeds < 1:
         raise SystemExit("error: --seeds must be >= 1")
+    topologies = getattr(args, "topologies", None) or ["3d"]
+    mit_modes = getattr(args, "mitigation_modes", None) or ["static"]
     return [
-        _spec_from_args(args, bench, mode, seed)
+        _spec_from_args(args, bench, mode, seed,
+                        topology=topology, mitigation_mode=mit)
+        for topology in topologies
+        for mit in mit_modes
         for mode in args.modes
         for bench in args.benchmarks
         for seed in range(args.seeds)
@@ -158,9 +187,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if resumed:
             print(f"resuming from {args.store}: {resumed}/{len(jobs)} jobs "
                   "already recorded")
+    combos = sorted({(job.topology, job.mitigation_mode) for job in jobs})
     print(f"running {len(jobs)} flow jobs "
           f"({len(args.benchmarks)} benchmarks x {len(args.modes)} modes x "
-          f"{args.seeds} seeds) on {args.processes or 'auto'} processes")
+          f"{args.seeds} seeds x {len(combos)} topology/mitigation combos) "
+          f"on {args.processes or 'auto'} processes")
     results = run_batch(
         jobs, processes=args.processes, store=store, cache_dir=args.cache_dir
     )
@@ -172,6 +203,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             if m == mode
         }
         print("\n" + format_table(rows, TABLE_METRICS, title=f"setup: {mode}"))
+    if len(combos) > 1:
+        from .exploration.study import (
+            format_mitigation_matrix,
+            summarize_mitigation_matrix,
+        )
+
+        matrix = summarize_mitigation_matrix(jobs, results)
+        print("\n" + format_mitigation_matrix(matrix))
     return 0
 
 
@@ -373,9 +412,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .exploration import run_exploration, summarize_findings
+    from .thermal.stack import TopologyConfig
 
+    topology = (
+        TopologyConfig(kind=args.topology) if args.topology != "3d" else None
+    )
     cells = run_exploration(
-        grid_n=args.grid, seed=args.seed, incremental=not args.no_incremental
+        grid_n=args.grid, seed=args.seed,
+        incremental=not args.no_incremental, topology=topology,
     )
     for c in cells:
         print(f"{c.power_pattern:<20}{c.tsv_pattern:<20}"
@@ -438,6 +482,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="refactorize every mitigation candidate stack "
                              "instead of solving them through the round's "
                              "base LU (the Woodbury path); the slow oracle")
+    p_flow.add_argument("--topology", choices=["3d", "2.5d"], default="3d",
+                        help="integration style: '3d' stacks dies "
+                             "vertically (the paper's setup); '2.5d' places "
+                             "them side by side on a passive interposer "
+                             "with micro-bump heat paths")
+    p_flow.add_argument("--mitigation-mode", dest="mitigation_mode",
+                        choices=["static", "dvfs", "combined"],
+                        default="static",
+                        help="leakage defense in TSC mode: 'static' inserts "
+                             "dummy thermal TSVs (Sec. 6.2), 'dvfs' runs the "
+                             "seeded runtime governor instead, 'combined' "
+                             "layers the governor on the TSV-hardened "
+                             "floorplan")
     add_backend_arg(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
@@ -465,6 +522,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "never oversubscribes the host")
         p.add_argument("--exchange-every", type=int, default=50,
                        help="moves between replica-exchange attempts")
+        p.add_argument("--topologies", nargs="+", choices=["3d", "2.5d"],
+                       default=["3d"],
+                       help="integration styles to sweep (grid axis)")
+        p.add_argument("--mitigation-modes", nargs="+",
+                       dest="mitigation_modes",
+                       choices=["static", "dvfs", "combined"],
+                       default=["static"],
+                       help="mitigation modes to sweep (grid axis); "
+                            "sweeping more than one topology/mode combo "
+                            "appends a static-vs-runtime comparison matrix "
+                            "to the batch report")
         add_backend_arg(p)
 
     p_batch = sub.add_parser(
@@ -570,6 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("explore", help="Sec. 3 power x TSV study")
     p_exp.add_argument("--grid", type=int, default=24)
     p_exp.add_argument("--seed", type=int, default=2)
+    p_exp.add_argument("--topology", choices=["3d", "2.5d"], default="3d",
+                       help="run the study on a vertical 3D stack (default) "
+                            "or on a 2.5D interposer layout")
     p_exp.add_argument("--no-incremental", action="store_true",
                        help="factorize every TSV pattern's network instead "
                             "of riding the empty-interface factorization "

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field, replace
 from ..floorplan.annealer import AnnealConfig
 from ..floorplan.objectives import FloorplanMode
 from ..mitigation.dummy_tsv import MitigationConfig
+from ..thermal.stack import TopologyConfig
 from . import schema
 
 __all__ = ["FlowConfig", "env_int"]
@@ -58,6 +59,10 @@ class FlowConfig:
     #: worker processes for the replica pool; None = auto (cpu-bounded,
     #: serial inside batch-pool workers — see repro.floorplan.tempering)
     replica_processes: int | None = None
+    #: integration style: the paper's vertical 3D stack (default) or a
+    #: 2.5D silicon-interposer layout with dies side by side; "3d" keeps
+    #: every solver path bit-identical to the pre-topology code
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
 
     def __post_init__(self) -> None:
         if self.replicas < 1:

@@ -34,7 +34,9 @@ from ..layout.grid import GridSpec
 from ..leakage.entropy import spatial_entropy
 from ..leakage.pearson import die_correlation
 from ..mitigation.dummy_tsv import MitigationReport, insert_dummy_tsvs
+from ..mitigation.dvfs import DVFSReport, evaluate_dvfs
 from ..power.assignment import AssignmentObjective, assign_voltages
+from ..thermal.stack import TopologyConfig, topology_kwargs
 from ..thermal.steady_state import SolverCache, default_solver_cache
 from ..timing.paths import TimingGraph
 from .config import FlowConfig
@@ -52,6 +54,9 @@ class FlowOutcome:
     floorplan: Floorplan3D
     anneal_result: AnnealResult
     mitigation: Optional[MitigationReport]
+    #: runtime-governor evaluation, present when the mitigation mode is
+    #: "dvfs" or "combined"
+    dvfs: Optional[DVFSReport]
     #: detailed per-die power/thermal maps at verification resolution
     power_maps: List[np.ndarray]
     thermal_maps: List[np.ndarray]
@@ -61,6 +66,7 @@ def verify_correlations(
     floorplan: Floorplan3D,
     grid: GridSpec,
     cache: SolverCache | None = None,
+    topology: TopologyConfig | None = None,
 ) -> Tuple[List[float], List[np.ndarray], List[np.ndarray], float]:
     """Detailed verification: per-die correlations, maps, and peak temp.
 
@@ -68,9 +74,11 @@ def verify_correlations(
     :class:`SolverCache`) and is keyed by the TSV densities of *all*
     adjacent die pairs — earlier revisions hardcoded the (0, 1) pair and
     silently ignored TSVs between upper dies of taller stacks.
+    ``topology`` selects the stack style; None or "3d" keeps cache keys
+    and results bit-identical to the pre-topology code.
     """
     cache = cache if cache is not None else default_solver_cache()
-    solver = cache.solver_for_floorplan(floorplan, grid)
+    solver = cache.solver_for_floorplan(floorplan, grid, **topology_kwargs(topology))
     power_maps = [
         floorplan.power_map(d, grid) for d in range(floorplan.stack.num_dies)
     ]
@@ -158,26 +166,47 @@ def run_flow(
     )
 
     mitigation: Optional[MitigationReport] = None
+    dvfs: Optional[DVFSReport] = None
     if config.run_mitigation:
-        emit(stage="mitigation", status="start",
-             max_rounds=config.mitigation.max_rounds)
-        mitigation = insert_dummy_tsvs(
-            floorplan,
-            config.mitigation,
-            progress=(
-                None if progress is None
-                else lambda ev: emit(stage="mitigation", status="round", **ev)
-            ),
-        )
-        floorplan = mitigation.floorplan
-        emit(
-            stage="mitigation", status="done",
-            rounds=mitigation.rounds, inserted=mitigation.inserted,
-            final_correlation=float(mitigation.final_correlation),
-        )
+        mit_mode = config.mitigation.mode
+        if mit_mode in ("static", "combined"):
+            emit(stage="mitigation", status="start",
+                 max_rounds=config.mitigation.max_rounds)
+            mitigation = insert_dummy_tsvs(
+                floorplan,
+                config.mitigation,
+                progress=(
+                    None if progress is None
+                    else lambda ev: emit(stage="mitigation", status="round", **ev)
+                ),
+                topology=config.topology,
+            )
+            floorplan = mitigation.floorplan
+            emit(
+                stage="mitigation", status="done",
+                rounds=mitigation.rounds, inserted=mitigation.inserted,
+                final_correlation=float(mitigation.final_correlation),
+            )
+        if mit_mode in ("dvfs", "combined"):
+            # the governor runs on the final floorplan — after dummy-TSV
+            # insertion in combined mode, so it measures the *residual*
+            # leakage the static defense left behind
+            emit(stage="dvfs", status="start",
+                 traces=config.mitigation.dvfs_traces,
+                 windows=config.mitigation.dvfs_windows)
+            dvfs = evaluate_dvfs(
+                floorplan, config.mitigation, topology=config.topology
+            )
+            emit(
+                stage="dvfs", status="done",
+                baseline_r=float(dvfs.baseline_score),
+                mitigated_r=float(dvfs.mitigated_score),
+            )
 
     grid = GridSpec(stack.outline, config.verify_nx, config.verify_ny)
-    correlations, power_maps, thermal_maps, peak = verify_correlations(floorplan, grid)
+    correlations, power_maps, thermal_maps, peak = verify_correlations(
+        floorplan, grid, topology=config.topology
+    )
     entropies = [spatial_entropy(p) for p in power_maps]
 
     wirelength_um, _ = floorplan.wirelength()
@@ -199,6 +228,10 @@ def run_flow(
         runtime_s=runtime,
         feasible=result.feasible,
         degradations=degradations_since(deg_mark),
+        topology=config.topology.kind,
+        mitigation_mode=config.mitigation.mode,
+        dvfs_baseline_r=float(dvfs.baseline_score) if dvfs is not None else 0.0,
+        dvfs_mitigated_r=float(dvfs.mitigated_score) if dvfs is not None else 0.0,
     )
     emit(
         stage="verify", status="done",
@@ -211,6 +244,7 @@ def run_flow(
         floorplan=floorplan,
         anneal_result=result,
         mitigation=mitigation,
+        dvfs=dvfs,
         power_maps=power_maps,
         thermal_maps=thermal_maps,
     )

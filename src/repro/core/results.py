@@ -35,6 +35,16 @@ class FlowMetrics:
     #: depend on process cache state, so oracle comparisons exclude them
     #: (like ``runtime_s``).
     degradations: Dict[str, int] = field(default_factory=dict)
+    #: integration style of the run ("3d" | "2.5d") and the mitigation
+    #: mode ("static" | "dvfs" | "combined"); defaults match the legacy
+    #: records and are omitted from :meth:`to_dict`, so pre-topology
+    #: stored results and digests are unchanged
+    topology: str = "3d"
+    mitigation_mode: str = "static"
+    #: runtime-governor leakage scores (mean |r| over traces and dies),
+    #: 0.0 when the DVFS stage did not run
+    dvfs_baseline_r: float = 0.0
+    dvfs_mitigated_r: float = 0.0
 
     _NUMERIC = (
         "spatial_entropy_s1",
@@ -61,6 +71,14 @@ class FlowMetrics:
             out[name] = getattr(self, name)
         if self.degradations:
             out["degradations"] = dict(self.degradations)
+        # non-default only: legacy 3d/static records stay byte-identical
+        if self.topology != "3d":
+            out["topology"] = self.topology
+        if self.mitigation_mode != "static":
+            out["mitigation_mode"] = self.mitigation_mode
+        if self.dvfs_baseline_r or self.dvfs_mitigated_r:
+            out["dvfs_baseline_r"] = self.dvfs_baseline_r
+            out["dvfs_mitigated_r"] = self.dvfs_mitigated_r
         return out
 
     @classmethod
@@ -71,6 +89,10 @@ class FlowMetrics:
             "mode": str(data["mode"]),
             "feasible": bool(data.get("feasible", True)),
             "degradations": dict(data.get("degradations") or {}),
+            "topology": str(data.get("topology", "3d")),
+            "mitigation_mode": str(data.get("mitigation_mode", "static")),
+            "dvfs_baseline_r": float(data.get("dvfs_baseline_r", 0.0)),
+            "dvfs_mitigated_r": float(data.get("dvfs_mitigated_r", 0.0)),
         }
         for name in cls._NUMERIC:
             value = data[name]

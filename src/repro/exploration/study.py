@@ -50,6 +50,8 @@ __all__ = [
     "BatchJob",
     "run_batch",
     "summarize_batch",
+    "summarize_mitigation_matrix",
+    "format_mitigation_matrix",
     "execute_batch_payload",
     "batch_worker_main",
 ]
@@ -77,6 +79,7 @@ def run_exploration(
     seed: int = 0,
     cache: SolverCache | None = None,
     incremental: bool = True,
+    topology=None,
 ) -> List[ExplorationCell]:
     """Evaluate all 30 power x TSV combinations on a two-die stack.
 
@@ -90,23 +93,30 @@ def run_exploration(
     irregular vias); dense patterns exceed the measured crossover and
     fall back to their own factorization automatically.
     ``incremental=False`` factorizes every pattern — the oracle path.
+
+    ``topology`` (a :class:`~repro.thermal.stack.TopologyConfig`) reruns
+    the same 30-cell study on a 2.5D interposer layout; None or "3d" is
+    bit-identical to the pre-topology study.
     """
+    from ..thermal.stack import topology_kwargs
+
     stack_cfg = StackConfig.square(die_side_um)
     grid = GridSpec(stack_cfg.outline, grid_n, grid_n)
     power_names, tsv_names = pattern_names()
     cache = cache if cache is not None else default_solver_cache()
+    tkw = topology_kwargs(topology)
 
     cells: List[ExplorationCell] = []
     base_solver = None
     for tsv_name in tsv_names:
         _, density = tsv_pattern(tsv_name, stack_cfg, grid, seed=seed)
         if not incremental or base_solver is None:
-            solver = cache.solver(stack_cfg, grid, density)
+            solver = cache.solver(stack_cfg, grid, density, **tkw)
             if base_solver is None:
                 base_solver = solver
         else:
             solver = cache.incremental_solver(
-                stack_cfg, grid, density, base=base_solver
+                stack_cfg, grid, density, base=base_solver, **tkw
             )
         # all five power patterns ride one factorization per TSV pattern
         pm_pairs = [
@@ -186,8 +196,16 @@ class BatchJob:
     #: REPRO_REPLICA_PROCESSES overrides — see repro.floorplan.tempering
     replicas: int = 1
     exchange_every: int = 50
+    #: integration style ("3d" | "2.5d") and mitigation mode
+    #: ("static" | "dvfs" | "combined"); the defaults reproduce the
+    #: legacy vertical-stack static-TSV runs bit-identically
+    topology: str = "3d"
+    mitigation_mode: str = "static"
 
     def __post_init__(self) -> None:
+        from ..mitigation.dummy_tsv import MITIGATION_MODES
+        from ..thermal.stack import TOPOLOGY_KINDS
+
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
         if self.grid < 2:
@@ -198,6 +216,16 @@ class BatchJob:
             raise ValueError("replicas must be >= 1")
         if self.exchange_every < 1:
             raise ValueError("exchange_every must be >= 1")
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.topology!r}; expected one of "
+                + ", ".join(TOPOLOGY_KINDS)
+            )
+        if self.mitigation_mode not in MITIGATION_MODES:
+            raise ValueError(
+                f"unknown mitigation mode {self.mitigation_mode!r}; "
+                "expected one of " + ", ".join(MITIGATION_MODES)
+            )
 
     def to_json(self) -> dict:
         """Versioned JSON document (see :mod:`repro.core.schema`)."""
@@ -221,8 +249,9 @@ class BatchJob:
 
         Every field that changes the outcome participates, so resuming a
         sweep with different knobs never reuses a stale record.  The
-        replica suffix appears only for tempered jobs, so every key
-        written before tempering existed still matches its job.
+        replica/topology/mitigation suffixes appear only for non-default
+        jobs, so every key written before those knobs existed still
+        matches its job.
         """
         key = (
             f"{self.benchmark}|{self.mode}|seed{self.seed}"
@@ -230,6 +259,10 @@ class BatchJob:
         )
         if self.replicas != 1:
             key += f"|rep{self.replicas}x{self.exchange_every}"
+        if self.topology != "3d":
+            key += f"|top{self.topology}"
+        if self.mitigation_mode != "static":
+            key += f"|mit{self.mitigation_mode}"
         return key
 
 
@@ -247,10 +280,13 @@ def _init_batch_worker(cache_dir: Optional[str]) -> None:
 def _execute_batch_job(job: BatchJob) -> FlowMetrics:
     # local imports keep worker start-up lean and avoid an import cycle
     # (core.flow does not import exploration)
+    from dataclasses import replace as dc_replace
+
     from ..benchmarks import load
     from ..core.config import FlowConfig
     from ..core.flow import run_flow
     from ..floorplan.annealer import AnnealConfig
+    from ..thermal.stack import TopologyConfig
 
     # num_dies flows into load() so the circuit is generated (module
     # areas sized) for that die count, not patched onto a 2-die instance
@@ -263,7 +299,13 @@ def _execute_batch_job(job: BatchJob) -> FlowMetrics:
         seed=job.seed,
         replicas=job.replicas,
         exchange_every=job.exchange_every,
+        topology=TopologyConfig(kind=job.topology),
     )
+    if job.mitigation_mode != "static":
+        config = dc_replace(
+            config,
+            mitigation=dc_replace(config.mitigation, mode=job.mitigation_mode),
+        )
     return run_flow(circuit, stack, config).metrics
 
 
@@ -490,3 +532,62 @@ def summarize_batch(
     for job, m in zip(jobs, metrics):
         groups.setdefault((job.benchmark, job.mode), []).append(m)
     return {key: aggregate_metrics(runs) for key, runs in groups.items()}
+
+
+def summarize_mitigation_matrix(
+    jobs: Sequence[BatchJob], metrics: Sequence[FlowMetrics]
+) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """The topology x mitigation-mode comparison of a sweep.
+
+    Groups results by (topology, mitigation_mode) across benchmarks and
+    seeds and reports the mean leakage figures of each cell: the detailed
+    verification correlations plus — where the runtime governor ran —
+    the DVFS baseline/mitigated temporal scores.  This is the static
+    vs. DVFS, 3D vs. 2.5D table the sweep commands print.
+    """
+    if len(jobs) != len(metrics):
+        raise ValueError("need exactly one metrics record per job")
+    groups: Dict[Tuple[str, str], List[FlowMetrics]] = {}
+    for job, m in zip(jobs, metrics):
+        groups.setdefault((job.topology, job.mitigation_mode), []).append(m)
+    out: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for key, runs in groups.items():
+        cell = {
+            "runs": float(len(runs)),
+            "correlation_r1": float(np.mean([r.correlation_r1 for r in runs])),
+            "correlation_r2": float(np.mean([r.correlation_r2 for r in runs])),
+            "peak_temp_k": float(np.mean([r.peak_temp_k for r in runs])),
+            "dummy_tsvs": float(np.mean([r.dummy_tsvs for r in runs])),
+        }
+        governed = [r for r in runs if r.mitigation_mode in ("dvfs", "combined")]
+        if governed:
+            cell["dvfs_baseline_r"] = float(
+                np.mean([r.dvfs_baseline_r for r in governed])
+            )
+            cell["dvfs_mitigated_r"] = float(
+                np.mean([r.dvfs_mitigated_r for r in governed])
+            )
+        out[key] = cell
+    return out
+
+
+def format_mitigation_matrix(
+    matrix: Dict[Tuple[str, str], Dict[str, float]]
+) -> str:
+    """Text table for :func:`summarize_mitigation_matrix` output."""
+    metric_names = ["runs", "correlation_r1", "correlation_r2", "peak_temp_k",
+                    "dummy_tsvs", "dvfs_baseline_r", "dvfs_mitigated_r"]
+    cols = sorted(matrix)
+    header = f"{'metric':<18}" + "".join(
+        f"{f'{t}/{m}':>16}" for t, m in cols
+    )
+    lines = ["topology x mitigation comparison", header, "-" * len(header)]
+    for name in metric_names:
+        if not any(name in matrix[c] for c in cols):
+            continue
+        cells = "".join(
+            f"{matrix[c][name]:>16.3f}" if name in matrix[c] else f"{'-':>16}"
+            for c in cols
+        )
+        lines.append(f"{name:<18}{cells}")
+    return "\n".join(lines)

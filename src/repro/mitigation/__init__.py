@@ -3,16 +3,28 @@
 Gaussian activity sampling, the Eq. 2 correlation-stability map, and
 the stability-guided dummy-TSV insertion loop with its sweet-spot stop
 criterion — candidates solved through the round's base LU via
-low-rank Woodbury updates.
+low-rank Woodbury updates.  :mod:`repro.mitigation.dvfs` adds the
+runtime counterpart: a seeded DVFS governor that randomizes the power
+trace instead of the heat path, scored with the same Eq. 1 metrics.
 """
 
 from .activity import ActivitySampler, sample_power_maps
-from .dummy_tsv import MitigationConfig, MitigationReport, insert_dummy_tsvs
+from .dummy_tsv import (
+    MITIGATION_MODES,
+    MitigationConfig,
+    MitigationReport,
+    insert_dummy_tsvs,
+)
+from .dvfs import DVFSchedule, DVFSReport, evaluate_dvfs
 
 __all__ = [
     "ActivitySampler",
     "sample_power_maps",
+    "MITIGATION_MODES",
     "MitigationConfig",
     "MitigationReport",
     "insert_dummy_tsvs",
+    "DVFSchedule",
+    "DVFSReport",
+    "evaluate_dvfs",
 ]

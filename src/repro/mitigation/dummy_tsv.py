@@ -50,7 +50,17 @@ from ..thermal.steady_state import (
 )
 from .activity import sample_power_maps
 
-__all__ = ["MitigationConfig", "MitigationReport", "insert_dummy_tsvs"]
+__all__ = [
+    "MITIGATION_MODES",
+    "MitigationConfig",
+    "MitigationReport",
+    "insert_dummy_tsvs",
+]
+
+#: supported mitigation strategies: the paper's static dummy-TSV
+#: insertion (Sec. 6.2), DATE-style runtime DVFS modulation
+#: (:mod:`repro.mitigation.dvfs`), or both in sequence
+MITIGATION_MODES = ("static", "dvfs", "combined")
 
 
 @dataclass(frozen=True)
@@ -85,6 +95,24 @@ class MitigationConfig:
     #: factorization); None uses the measured crossover for the grid size
     #: (:func:`~repro.thermal.steady_state.woodbury_crossover_rank`)
     rebase_rank: Optional[int] = None
+    #: mitigation strategy: ``"static"`` (dummy-TSV insertion, Sec. 6.2),
+    #: ``"dvfs"`` (runtime activity modulation,
+    #: :mod:`repro.mitigation.dvfs`), or ``"combined"`` (both).
+    #: Validated here *and* therefore at the :mod:`repro.core.schema`
+    #: wire boundary, which constructs through this ``__post_init__``
+    mode: str = "static"
+    #: DVFS governor knobs (runtime modes): discrete operating points ...
+    dvfs_levels: int = 3
+    #: ... lowest frequency scale (power scales ~ f^3) ...
+    dvfs_min_scale: float = 0.6
+    #: ... transient steps per governor dwell window ...
+    dvfs_period: int = 4
+    #: ... secret activity windows per measured trace ...
+    dvfs_windows: int = 24
+    #: ... independent traces scored per evaluation ...
+    dvfs_traces: int = 4
+    #: ... and the backward-Euler step size (seconds)
+    dvfs_dt: float = 2e-3
 
     def __post_init__(self) -> None:
         if self.samples < 1:
@@ -95,6 +123,23 @@ class MitigationConfig:
             raise ValueError("tsvs_per_round must be >= 1")
         if self.candidates_per_round < 1:
             raise ValueError("candidates_per_round must be >= 1")
+        if self.mode not in MITIGATION_MODES:
+            raise ValueError(
+                f"unknown mitigation mode {self.mode!r}; expected one of "
+                f"{', '.join(MITIGATION_MODES)}"
+            )
+        if self.dvfs_levels < 2:
+            raise ValueError("dvfs_levels must be >= 2")
+        if not 0.0 < self.dvfs_min_scale <= 1.0:
+            raise ValueError("dvfs_min_scale must be in (0, 1]")
+        if self.dvfs_period < 1:
+            raise ValueError("dvfs_period must be >= 1")
+        if self.dvfs_windows < 2:
+            raise ValueError("dvfs_windows must be >= 2")
+        if self.dvfs_traces < 1:
+            raise ValueError("dvfs_traces must be >= 1")
+        if self.dvfs_dt <= 0:
+            raise ValueError("dvfs_dt must be positive")
 
     def to_json(self) -> dict:
         """Versioned JSON document (see :mod:`repro.core.schema`)."""
@@ -151,6 +196,7 @@ def insert_dummy_tsvs(
     floorplan: Floorplan3D,
     config: MitigationConfig | None = None,
     progress=None,
+    topology=None,
 ) -> MitigationReport:
     """Run the stability-guided dummy-TSV insertion loop.
 
@@ -161,10 +207,18 @@ def insert_dummy_tsvs(
     ``{"round", "score", "accepted", "inserted_total"}`` — which is what
     the service layer streams to clients as per-round NDJSON events.  A
     ``None`` callback costs nothing.
+
+    ``topology`` (a :class:`~repro.thermal.stack.TopologyConfig`) selects
+    the stack style every solve discretizes; ``None``/3D keeps the legacy
+    path and cache keys bit-for-bit (2.5D dummy "TSVs" are extra thermal
+    micro-bump fields under the die sites — same density mechanism).
     """
+    from ..thermal.stack import topology_kwargs
+
     config = config or MitigationConfig()
     if config.candidates_per_round < 1:
         raise ValueError("candidates_per_round must be >= 1")
+    tkw = topology_kwargs(topology)
     fp = floorplan.copy()
     grid = GridSpec(fp.stack.outline, config.grid_nx, config.grid_ny)
 
@@ -176,7 +230,7 @@ def insert_dummy_tsvs(
     solver_cache = SolverCache(maxsize=max(4, config.candidates_per_round + 2))
 
     def make_solver(current: Floorplan3D) -> SteadyStateSolver:
-        return solver_cache.solver_for_floorplan(current, grid)
+        return solver_cache.solver_for_floorplan(current, grid, **tkw)
 
     # nominal power maps depend only on placements and voltages — never on
     # TSVs — so one rasterization serves the whole loop and every
@@ -208,7 +262,7 @@ def insert_dummy_tsvs(
             return make_solver(candidate)
         return solver_cache.incremental_solver_for_floorplan(
             candidate, grid, base=base_solver,
-            crossover_rank=config.rebase_rank,
+            crossover_rank=config.rebase_rank, **tkw,
         )
 
     correlations = correlations_for(solver)

@@ -1,0 +1,301 @@
+"""Runtime DVFS mitigation (DATE-style temperature side-channel defense).
+
+Where the paper's Sec. 6.2 defense reshapes the *heat path* (static dummy
+thermal TSVs), a runtime defense reshapes the *power trace*: a DVFS
+governor hops between discrete frequency/voltage operating points on a
+pseudo-random per-module schedule, so the temperature an attacker samples
+no longer tracks the modules' nominal activity (cf. the DATE paper on
+DVFS-enabled MPSoCs, PAPERS.md).
+
+The attack model mirrors the paper's Eq. 1 metric *in time*: the victim
+executes a secret per-window activity sequence (the Gaussian activity
+model of :mod:`repro.mitigation.activity`), the attacker records per-die
+temperatures at the end of every governor window, and leakage is the
+Pearson correlation between the nominal per-window die power (the
+attacker's hypothesis) and the observed temperature sequence — the same
+:func:`~repro.leakage.pearson.pearson` /
+:func:`~repro.leakage.pearson.die_correlation` /
+:func:`~repro.leakage.pearson.local_correlation_map` machinery the
+steady-state metrics use, fed with (traces, windows) matrices instead of
+(ny, nx) maps.
+
+Everything is deterministic in ``(seed, schedule)``: per-trace RNG
+streams spawn from one :class:`numpy.random.SeedSequence`, so scores are
+byte-identical whether traces integrate one-by-one
+(:meth:`~repro.thermal.transient.TransientSolver.run`) or batched
+(:meth:`~repro.thermal.transient.TransientSolver.run_many`), and across
+process or replica counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..layout.floorplan import Floorplan3D
+from ..layout.grid import GridSpec
+from ..leakage.pearson import die_correlation, local_correlation_map, pearson
+from ..thermal.stack import stack_for_floorplan, topology_kwargs
+from ..thermal.steady_state import SolverCache
+from ..thermal.transient import TransientSolver
+from .activity import module_power_basis
+from .dummy_tsv import MitigationConfig
+
+__all__ = ["DVFSchedule", "DVFSReport", "evaluate_dvfs"]
+
+#: local (windowed) correlation support along the time axis — the
+#: short-exposure attacker who correlates over a few adjacent windows
+_LOCAL_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class DVFSchedule:
+    """The governor's deterministic operating-point schedule."""
+
+    #: discrete frequency/voltage operating points
+    levels: int = 3
+    #: lowest frequency scale; power scales as ``scale ** 3`` (P ~ f V^2,
+    #: V ~ f in the classic DVFS regime)
+    min_scale: float = 0.6
+    #: transient steps per governor dwell window
+    period: int = 4
+    #: secret activity windows per measured trace
+    windows: int = 24
+    #: backward-Euler step size (seconds)
+    dt: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError("levels must be >= 2")
+        if not 0.0 < self.min_scale <= 1.0:
+            raise ValueError("min_scale must be in (0, 1]")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if self.windows < 2:
+            raise ValueError("windows must be >= 2")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+
+    @classmethod
+    def from_mitigation(cls, config: MitigationConfig) -> "DVFSchedule":
+        return cls(
+            levels=config.dvfs_levels,
+            min_scale=config.dvfs_min_scale,
+            period=config.dvfs_period,
+            windows=config.dvfs_windows,
+            dt=config.dvfs_dt,
+        )
+
+    @property
+    def duration(self) -> float:
+        """Seconds one trace integrates."""
+        return self.windows * self.period * self.dt
+
+    def scales(self) -> np.ndarray:
+        """The discrete frequency scales, lowest to nominal."""
+        return np.linspace(self.min_scale, 1.0, self.levels)
+
+
+@dataclass
+class DVFSReport:
+    """Leakage with and without the runtime governor, same traces."""
+
+    schedule: DVFSchedule
+    #: per-trace per-die temporal Pearson r (Eq. 1 over windows),
+    #: shape (traces, dies) — nominal power vs. observed temperature
+    baseline_correlations: np.ndarray
+    mitigated_correlations: np.ndarray
+    #: per-die Eq. 1 correlation over the full (traces, windows) matrix
+    baseline_die_correlation: List[float]
+    mitigated_die_correlation: List[float]
+    #: per-die peak |local correlation| along the window axis — the
+    #: short-exposure attacker's best window
+    baseline_local: List[float]
+    mitigated_local: List[float]
+    traces: int = 0
+
+    @property
+    def baseline_score(self) -> float:
+        return float(np.mean(np.abs(self.baseline_correlations)))
+
+    @property
+    def mitigated_score(self) -> float:
+        return float(np.mean(np.abs(self.mitigated_correlations)))
+
+    @property
+    def reduction(self) -> float:
+        """Score drop the governor bought (positive = less leakage)."""
+        return self.baseline_score - self.mitigated_score
+
+
+def _trace_streams(seed: int, trace: int) -> tuple:
+    """(activity_rng, governor_rng) for one trace.
+
+    Spawned from one root :class:`~numpy.random.SeedSequence` keyed by
+    the trace index, so streams never depend on how traces are batched
+    across ``run``/``run_many`` calls or worker processes.
+    """
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=(trace,))
+    act_ss, gov_ss = ss.spawn(2)
+    return np.random.default_rng(act_ss), np.random.default_rng(gov_ss)
+
+
+def _window_power_at(per_die_maps: List[np.ndarray], schedule: DVFSchedule):
+    """A ``power_at(t)`` callback stepping through per-window maps."""
+    last = schedule.windows - 1
+
+    def power_at(t: float):
+        step = int(round(t / schedule.dt)) - 1
+        w = min(step // schedule.period, last)
+        return [maps[w] for maps in per_die_maps]
+
+    return power_at
+
+
+def evaluate_dvfs(
+    floorplan: Floorplan3D,
+    config: MitigationConfig | None = None,
+    *,
+    grid: GridSpec | None = None,
+    topology=None,
+    batched: bool = True,
+    cache: SolverCache | None = None,
+) -> DVFSReport:
+    """Score the runtime DVFS governor against the no-governor baseline.
+
+    Each of ``config.dvfs_traces`` traces drives the transient solver
+    with a secret per-window Gaussian activity sequence, once at nominal
+    frequency and once through the governor; the attacker correlates
+    nominal per-window die power with end-of-window die temperatures.
+    Traces start from the thermal equilibrium of each arm's mean power
+    (one steady solve per arm, through the audit-sanctioned cache path),
+    so the observed fluctuations carry the activity signal rather than
+    the ambient-to-operating-point ramp — without this, the slow ramp
+    (time constant >> window length) swamps both arms and the metric
+    cannot tell them apart.
+    Both variants of every trace integrate through one factorized step
+    matrix (``batched=True``, the
+    :meth:`~repro.thermal.transient.TransientSolver.run_many` path with
+    ``column_exact``); ``batched=False`` runs them one at a time —
+    byte-identical results, the determinism tests' oracle.
+
+    ``topology`` selects the stack style (2.5D governors modulate the
+    same way; only the heat path differs).
+    """
+    config = config or MitigationConfig(mode="dvfs")
+    schedule = DVFSchedule.from_mitigation(config)
+    if grid is None:
+        grid = GridSpec(floorplan.stack.outline, config.grid_nx, config.grid_ny)
+    names = sorted(floorplan.placements)
+    num_dies = floorplan.stack.num_dies
+    num_modules = len(names)
+    basis = module_power_basis(floorplan, grid, names)  # per die: (M, cells)
+    shape = grid.shape
+
+    tkw = topology_kwargs(topology)
+    stack = stack_for_floorplan(floorplan, grid, **tkw)
+    solver = TransientSolver(stack)
+
+    traces = config.dvfs_traces
+    windows = schedule.windows
+    scales = schedule.scales()
+
+    # per-arm equilibrium starting state: nominal mean power for the
+    # baseline arm, governor-mean power (E[scale^3] of the uniform level
+    # draw) for the mitigated arm
+    steady = (cache or SolverCache()).solver_for_floorplan(floorplan, grid, **tkw)
+    nominal_maps = [basis[d].sum(axis=0).reshape(shape) for d in range(num_dies)]
+    mean_s3 = float(np.mean(scales**3))
+    t0_base = steady.solve(nominal_maps).nodal
+    t0_gov = steady.solve([m * mean_s3 for m in nominal_maps]).nodal
+    # nominal per-window per-die power totals — the attacker's hypothesis
+    window_power = np.empty((traces, windows, num_dies))
+    baseline_fns = []
+    governed_fns = []
+    for tr in range(traces):
+        act_rng, gov_rng = _trace_streams(config.seed, tr)
+        factors = np.maximum(
+            act_rng.normal(1.0, config.sigma, size=(windows, num_modules)), 0.0
+        )
+        level_idx = gov_rng.integers(0, schedule.levels, size=(windows, num_modules))
+        modulated = factors * scales[level_idx] ** 3
+        base_maps = []
+        governed_maps = []
+        for d in range(num_dies):
+            nominal = (factors @ basis[d]).reshape(windows, *shape)
+            base_maps.append(nominal)
+            governed_maps.append((modulated @ basis[d]).reshape(windows, *shape))
+            window_power[tr, :, d] = nominal.sum(axis=(1, 2))
+        baseline_fns.append(_window_power_at(base_maps, schedule))
+        governed_fns.append(_window_power_at(governed_maps, schedule))
+
+    duration = schedule.duration
+    if batched:
+        # column_exact keeps every trace byte-identical to a solo run:
+        # SuperLU's blocked multi-RHS substitution rounds differently
+        # above its panel width, and the determinism contract here is
+        # bitwise, not just close
+        t0 = np.column_stack([t0_base] * traces + [t0_gov] * traces)
+        all_traces = solver.run_many(
+            baseline_fns + governed_fns,
+            duration,
+            schedule.dt,
+            t0=t0,
+            column_exact=True,
+        )
+        base_traces = all_traces[:traces]
+        governed_traces = all_traces[traces:]
+    else:
+        base_traces = [
+            solver.run(fn, duration, schedule.dt, t0=t0_base) for fn in baseline_fns
+        ]
+        governed_traces = [
+            solver.run(fn, duration, schedule.dt, t0=t0_gov) for fn in governed_fns
+        ]
+
+    # end-of-window samples: the attacker reads temperature once per dwell
+    sample_idx = np.arange(windows) * schedule.period + schedule.period - 1
+
+    def observe(trace_list) -> np.ndarray:
+        return np.stack(
+            [t.die_means[sample_idx] for t in trace_list]
+        )  # (traces, windows, dies)
+
+    base_temps = observe(base_traces)
+    governed_temps = observe(governed_traces)
+
+    def score(temps: np.ndarray):
+        per_trace = np.empty((traces, num_dies))
+        per_die_global: List[float] = []
+        per_die_local: List[float] = []
+        for d in range(num_dies):
+            for tr in range(traces):
+                per_trace[tr, d] = pearson(window_power[tr, :, d], temps[tr, :, d])
+            # Eq. 1 over the full (traces, windows) matrix, and the
+            # windowed local variant along the time axis — literally the
+            # spatial metrics applied to temporal matrices
+            per_die_global.append(
+                die_correlation(window_power[:, :, d], temps[:, :, d])
+            )
+            local = local_correlation_map(
+                window_power[:, :, d], temps[:, :, d],
+                window=min(_LOCAL_WINDOW, windows),
+            )
+            per_die_local.append(float(np.max(np.abs(local))))
+        return per_trace, per_die_global, per_die_local
+
+    base_r, base_global, base_local = score(base_temps)
+    gov_r, gov_global, gov_local = score(governed_temps)
+
+    return DVFSReport(
+        schedule=schedule,
+        baseline_correlations=base_r,
+        mitigated_correlations=gov_r,
+        baseline_die_correlation=base_global,
+        mitigated_die_correlation=gov_global,
+        baseline_local=base_local,
+        mitigated_local=gov_local,
+        traces=traces,
+    )

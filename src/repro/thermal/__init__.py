@@ -23,10 +23,14 @@ from .materials import (
 from .rc_network import LowRankUpdate, ThermalNetwork, assemble, low_rank_update
 from .stack import (
     DEFAULT_DIMENSIONS,
+    TOPOLOGY_KINDS,
     Layer,
     ThermalStack,
+    TopologyConfig,
     build_stack,
     normalize_tsv_densities,
+    stack_for_floorplan,
+    topology_kwargs,
 )
 from .steady_state import (
     SolverCache,
@@ -58,8 +62,12 @@ __all__ = [
     "low_rank_update",
     "Layer",
     "ThermalStack",
+    "TopologyConfig",
+    "TOPOLOGY_KINDS",
     "build_stack",
+    "stack_for_floorplan",
     "normalize_tsv_densities",
+    "topology_kwargs",
     "DEFAULT_DIMENSIONS",
     "SteadyStateSolver",
     "WoodburySolver",

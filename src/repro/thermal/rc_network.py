@@ -67,20 +67,23 @@ class ThermalNetwork:
     def power_vector(self, power_maps: List[np.ndarray]) -> np.ndarray:
         """Assemble the nodal power vector from per-die power maps (W/cell).
 
-        ``power_maps[d]`` feeds the active layer of die ``d``; missing
-        trailing dies default to zero power.
+        ``power_maps[d]`` feeds the active layer of die ``d`` — the whole
+        layer on a 3D stack, the die's site on a 2.5D interposer stack.
+        Missing trailing dies default to zero power.
         """
         grid = self.stack.grid
+        expected = self.stack.die_map_shape()
         q = np.zeros(self.num_nodes)
         for layer_idx, die in self.stack.power_layers():
             if die < len(power_maps) and power_maps[die] is not None:
                 pm = np.asarray(power_maps[die], dtype=float)
-                if pm.shape != grid.shape:
+                if pm.shape != expected:
                     raise ValueError(
-                        f"power map for die {die}: shape {pm.shape} != {grid.shape}"
+                        f"power map for die {die}: shape {pm.shape} != {expected}"
                     )
                 base = layer_idx * grid.ny * grid.nx
-                q[base : base + grid.ny * grid.nx] = pm.ravel()
+                layer_view = q[base : base + grid.ny * grid.nx].reshape(grid.shape)
+                layer_view[self.stack.site_slice(die)] = pm
         return q
 
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..layout.die import StackConfig
+from ..layout.geometry import Rect
 from ..layout.grid import GridSpec
 from .materials import (
     BEOL,
@@ -44,10 +45,82 @@ from .materials import (
 __all__ = [
     "Layer",
     "ThermalStack",
+    "TopologyConfig",
+    "TOPOLOGY_KINDS",
     "build_stack",
+    "stack_for_floorplan",
     "normalize_tsv_densities",
+    "topology_kwargs",
     "DEFAULT_DIMENSIONS",
 ]
+
+#: supported stack topologies: the paper's vertical 3D stack, and a 2.5D
+#: interposer layout (dies side-by-side, heat paths down into a shared
+#: interposer through micro-bump fields)
+TOPOLOGY_KINDS = ("3d", "2.5d")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Which physical stacking style the thermal model discretizes.
+
+    ``kind="3d"`` is the degenerate case: :func:`build_stack` takes the
+    exact legacy vertical-stack path (bit-identical layers, untouched
+    solver-cache keys via :func:`topology_kwargs`).  ``kind="2.5d"``
+    places the dies side-by-side on a silicon interposer: each die keeps
+    its own ``(ny, nx)`` analysis grid as a *site* on a wider shared
+    grid, so power maps, leakage metrics, and every solver stay
+    shape-compatible with the 3D path.
+    """
+
+    kind: str = "3d"
+    #: interposer substrate silicon thickness (m); 2.5d only
+    interposer_thickness: float = 100e-6
+    #: interposer redistribution-layer thickness (m); 2.5d only
+    rdl_thickness: float = 10e-6
+    #: micro-bump/underfill gap between die and interposer (m); 2.5d only
+    microbump_thickness: float = 30e-6
+    #: mold-compound spacer columns between adjacent die sites (grid cells)
+    gap_cells: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; expected one of "
+                f"{', '.join(TOPOLOGY_KINDS)}"
+            )
+        for name in ("interposer_thickness", "rdl_thickness", "microbump_thickness"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.gap_cells < 0:
+            raise ValueError("gap_cells must be >= 0")
+
+    def to_json(self) -> dict:
+        """Versioned JSON document (see :mod:`repro.core.schema`)."""
+        from ..core import schema
+
+        return schema.to_json_dict(self)
+
+    @classmethod
+    def from_json(cls, data) -> "TopologyConfig":
+        """Rebuild from :meth:`to_json` output; unknown keys warn, bad
+        values raise the same ``ValueError`` as direct construction."""
+        from ..core import schema
+
+        return schema.from_json_dict(cls, data)
+
+
+def topology_kwargs(topology: Optional["TopologyConfig"]) -> dict:
+    """``build_stack``/solver-cache kwargs for a topology.
+
+    The degenerate 3D case returns ``{}`` — omitting the kwarg entirely
+    keeps legacy :class:`~repro.thermal.steady_state.SolverCache` keys
+    (and the bit-identical 3D build path) byte-for-byte unchanged, so a
+    pre-topology results store still resumes cleanly.
+    """
+    if topology is None or topology.kind == "3d":
+        return {}
+    return {"topology": topology}
 
 
 @dataclass
@@ -96,6 +169,13 @@ class ThermalStack:
     #: package through micro-bump/redistribution stacks, locally
     #: strengthening the secondary heat path.
     r_bottom_map: Optional[np.ndarray] = None
+    #: 2.5D interposer layouts: per-die ``(row0, col0)`` offsets of each
+    #: die's site on the shared grid.  ``None`` (the 3D stack) means every
+    #: die's maps span the whole grid.
+    die_sites: Optional[List[Tuple[int, int]]] = None
+    #: 2.5D: the ``(ny, nx)`` shape of each die site — the shape callers'
+    #: per-die power/thermal maps keep across both topologies
+    site_shape: Optional[Tuple[int, int]] = None
 
     @property
     def num_layers(self) -> int:
@@ -112,12 +192,35 @@ class ThermalStack:
         raise KeyError(f"no layer named {name!r}")
 
     def power_layers(self) -> List[Tuple[int, int]]:
-        """(layer index, die index) for every power-injecting layer."""
+        """(layer index, die index) for every power-injecting layer.
+
+        On a 2.5D interposer stack every die injects into its own site of
+        the single shared active layer.
+        """
+        if self.die_sites is not None:
+            li = self.layer_index("die_active")
+            return [(li, d) for d in range(len(self.die_sites))]
         return [
             (i, layer.power_die)
             for i, layer in enumerate(self.layers)
             if layer.power_die is not None
         ]
+
+    def die_map_shape(self) -> Tuple[int, int]:
+        """Shape of per-die power/thermal maps (the site shape in 2.5D)."""
+        return self.site_shape if self.site_shape is not None else self.grid.shape
+
+    def site_slice(self, die: int) -> Tuple[slice, slice]:
+        """(row, col) slices of a die's cells within a full-grid layer map.
+
+        The 3D stack returns full slices — per-die maps span the grid —
+        so callers can index uniformly across both topologies.
+        """
+        if self.die_sites is None:
+            return (slice(None), slice(None))
+        r0, c0 = self.die_sites[die]
+        sy, sx = self.site_shape
+        return (slice(r0, r0 + sy), slice(c0, c0 + sx))
 
 
 def _uniform(
@@ -198,6 +301,7 @@ def build_stack(
     r_bottom_tsv_area: float = 8.0e-5,
     ambient: float = 293.0,
     copper_fill_fraction: float = 0.35,
+    topology: Optional[TopologyConfig] = None,
 ) -> ThermalStack:
     """Build the thermal stack for a face-to-back 3D IC.
 
@@ -216,7 +320,18 @@ def build_stack(
     repeats per tier, each pierced by its own interface's TSVs; only the
     (0, 1) density feeds the secondary-path blending, since only those
     TSVs land on the package redistribution.
+
+    ``topology`` selects the stacking style; ``None`` and ``kind="3d"``
+    take the exact vertical-stack path below (bit-identical), while
+    ``kind="2.5d"`` builds the side-by-side interposer layout
+    (:func:`_build_interposer_stack`).
     """
+    if topology is not None and topology.kind == "2.5d":
+        return _build_interposer_stack(
+            stack_cfg, grid, topology, tsv_density, dimensions,
+            r_top_area, r_bottom_area, r_bottom_tsv_area, ambient,
+            copper_fill_fraction,
+        )
     if dimensions is None:
         dimensions = DEFAULT_DIMENSIONS
     shape = grid.shape
@@ -310,4 +425,136 @@ def build_stack(
         r_bottom_area=r_bottom_area,
         ambient=ambient,
         r_bottom_map=r_bottom_map,
+    )
+
+
+def _build_interposer_stack(
+    stack_cfg: StackConfig,
+    grid: GridSpec,
+    topology: TopologyConfig,
+    tsv_density,
+    dimensions: Dict[str, float] | None,
+    r_top_area: float,
+    r_bottom_area: float,
+    r_bottom_tsv_area: float,
+    ambient: float,
+    copper_fill_fraction: float,
+) -> ThermalStack:
+    """The 2.5D layout: flip-chip dies side-by-side on a silicon interposer.
+
+    Every die keeps its caller-facing ``(ny, nx)`` grid as a *site* on a
+    wider shared grid (same cell geometry), separated by
+    ``topology.gap_cells`` columns of mold compound.  Layer order from
+    the package (bottom) to the heatsink (top):
+
+        0  interposer bulk Si     <- secondary path to the package
+        1  interposer RDL         (lateral spreading between dies)
+        2  micro-bump/underfill   <- per-die bump fields (TSV densities)
+        3  die BEOL (face-down)   mold compound between sites
+        4  die active             <- per-site power injection
+        5  die thinned bulk Si
+        6  TIM / 7 spreader / 8 sink (shared cooling assembly)
+
+    The per-pair TSV densities of :func:`normalize_tsv_densities` are
+    reused unchanged: the pair ``(d, d+1)`` field becomes interposer
+    routing whose micro-bump landing pads sit under *both* endpoint
+    dies, raising the composite bump-layer conductivity there and — like
+    3D TSVs on the package redistribution — locally strengthening the
+    secondary path under the interposer.
+    """
+    if dimensions is None:
+        dimensions = DEFAULT_DIMENSIONS
+    site_shape = grid.shape
+    ny, nx = site_shape
+    num_dies = stack_cfg.num_dies
+    gap = topology.gap_cells
+    nx_total = num_dies * nx + max(num_dies - 1, 0) * gap
+    outline = grid.outline
+    wide = GridSpec(
+        Rect(outline.x, outline.y, outline.w * (nx_total / nx), outline.h),
+        nx=nx_total,
+        ny=ny,
+    )
+    sites = [(0, d * (nx + gap)) for d in range(num_dies)]
+    wide_shape = wide.shape
+
+    densities = normalize_tsv_densities(stack_cfg, grid, tsv_density)
+    per_die = [np.zeros(site_shape) for _ in range(num_dies)]
+    for (a, b), arr in densities.items():
+        per_die[a] = per_die[a] + arr
+        per_die[b] = per_die[b] + arr
+    bump = np.zeros(wide_shape)
+    for d, (r0, c0) in enumerate(sites):
+        bump[r0 : r0 + ny, c0 : c0 + nx] = np.clip(per_die[d], 0.0, 1.0)
+    copper = np.clip(bump * copper_fill_fraction, 0.0, 1.0)
+
+    def patterned(die_mat: Material, fill_mat: Material):
+        """Per-cell maps: die material under sites, filler between them."""
+        k = np.full(wide_shape, fill_mat.conductivity)
+        cap = np.full(wide_shape, fill_mat.capacity)
+        for r0, c0 in sites:
+            k[r0 : r0 + ny, c0 : c0 + nx] = die_mat.conductivity
+            cap[r0 : r0 + ny, c0 : c0 + nx] = die_mat.capacity
+        return k, k.copy(), cap
+
+    layers: List[Layer] = []
+
+    def add_uniform(name: str, material: Material, thickness: float) -> None:
+        kv, kl, cap = _uniform(material, wide_shape)
+        layers.append(Layer(name, thickness, kv, kl, cap))
+
+    add_uniform("interposer_bulk", SILICON, topology.interposer_thickness)
+    add_uniform("interposer_rdl", BEOL, topology.rdl_thickness)
+    layers.append(
+        Layer(
+            "microbump",
+            topology.microbump_thickness,
+            np.asarray(tsv_composite_vertical(BOND, copper)),
+            np.asarray(tsv_composite_lateral(BOND, copper)),
+            np.asarray(tsv_composite_capacity(BOND, copper)),
+        )
+    )
+    kv, kl, cap = patterned(BEOL, BOND)
+    layers.append(Layer("die_beol", dimensions["beol"], kv, kl, cap))
+    kv, kl, cap = patterned(SILICON, BOND)
+    layers.append(Layer("die_active", dimensions["active"], kv, kl, cap))
+    kv, kl, cap = patterned(SILICON, BOND)
+    layers.append(Layer("die_bulk", dimensions["bulk_thin"], kv, kl, cap))
+    add_uniform("tim", TIM, dimensions["tim"])
+    add_uniform("spreader", COPPER, dimensions["spreader"])
+    add_uniform("sink", COPPER, dimensions["sink"])
+
+    # bump-dense cells land on interposer TSVs into the package: blend the
+    # secondary-path resistance exactly like the 3D stack's (0, 1) pattern
+    g_cell = (1.0 - bump) / r_bottom_area + bump / r_bottom_tsv_area
+    r_bottom_map = 1.0 / g_cell
+
+    return ThermalStack(
+        grid=wide,
+        layers=layers,
+        r_top_area=r_top_area,
+        r_bottom_area=r_bottom_area,
+        ambient=ambient,
+        r_bottom_map=r_bottom_map,
+        die_sites=sites,
+        site_shape=site_shape,
+    )
+
+
+def stack_for_floorplan(floorplan, grid: GridSpec, **stack_kwargs) -> ThermalStack:
+    """Build the thermal stack for a floorplan's full TSV pattern.
+
+    The stack-level analogue of
+    :meth:`~repro.thermal.steady_state.SolverCache.solver_for_floorplan`:
+    density maps come from ``floorplan.tsv_densities(grid)`` over *all*
+    adjacent die pairs, never the historical single-``(0, 1)``-pair
+    convention (the standing audit rule ``tests/test_call_site_audit.py``
+    enforces).  Extra kwargs — ``topology`` included — pass through to
+    :func:`build_stack`.
+    """
+    return build_stack(
+        floorplan.stack,
+        grid,
+        tsv_density=floorplan.tsv_densities(grid),
+        **stack_kwargs,
     )

@@ -80,13 +80,18 @@ class ThermalResult:
 
 
 def _split_die_maps(stack: ThermalStack, t: np.ndarray) -> List[np.ndarray]:
-    """Per-die active-layer temperature maps out of a nodal vector."""
+    """Per-die active-layer temperature maps out of a nodal vector.
+
+    Maps are always die-map shaped: the full grid on a 3D stack, the
+    die's site window on a 2.5D interposer stack — so leakage metrics
+    stay shape-compatible with the per-die power maps either way.
+    """
     grid = stack.grid
     npl = grid.nx * grid.ny
     die_maps: List[np.ndarray] = []
-    for layer_idx, _die in stack.power_layers():
-        block = t[layer_idx * npl : (layer_idx + 1) * npl]
-        die_maps.append(block.reshape(grid.shape).copy())
+    for layer_idx, die in stack.power_layers():
+        block = t[layer_idx * npl : (layer_idx + 1) * npl].reshape(grid.shape)
+        die_maps.append(block[stack.site_slice(die)].copy())
     return die_maps
 
 

@@ -1,0 +1,129 @@
+"""Standing AST audit of solver/TSV construction call sites.
+
+Two historical bug classes keep trying to come back:
+
+* call sites building their own :class:`ThermalStack`/steady-state
+  solver instead of going through
+  :func:`~repro.thermal.stack.stack_for_floorplan` /
+  :meth:`~repro.thermal.steady_state.SolverCache.solver_for_floorplan`
+  — those paths bypass :func:`normalize_tsv_densities` (shape checks,
+  adjacency checks, the many-forms canonicalization) *and* the topology
+  plumbing, so a 2.5D sweep silently evaluates a 3D stack;
+* the historical hardcoded ``tsv_density((0, 1), grid)`` convention,
+  which ignores the TSV interfaces of taller stacks.
+
+This test walks every module under ``src/repro`` with :mod:`ast` and
+fails on offenders, with an explicit allowlist for the two owner modules
+that legitimately assemble stacks and solvers.  Adding a new offender is
+a test failure, not a review comment.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: constructors only the owner modules may call: everything else must go
+#: through stack_for_floorplan / SolverCache.solver_for_floorplan
+OWNED_CONSTRUCTORS = {"build_stack", "SteadyStateSolver", "WoodburySolver"}
+
+#: the modules that own stack assembly and solver construction
+ALLOWLIST = {
+    "thermal/stack.py",
+    "thermal/steady_state.py",
+}
+
+
+def _called_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_literal_pair(node: ast.AST) -> bool:
+    """A hardcoded die pair like ``(0, 1)`` passed to tsv_density."""
+    return (
+        isinstance(node, ast.Tuple)
+        and len(node.elts) == 2
+        and all(isinstance(e, ast.Constant) for e in node.elts)
+    )
+
+
+def _audit_file(path: Path) -> list:
+    rel = path.relative_to(SRC).as_posix()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _called_name(node)
+        if name in OWNED_CONSTRUCTORS and rel not in ALLOWLIST:
+            offenders.append(
+                f"{rel}:{node.lineno}: {name}(...) outside the owner "
+                "modules — route through stack_for_floorplan / "
+                "SolverCache.solver_for_floorplan"
+            )
+        if name == "tsv_density" and node.args and _is_literal_pair(node.args[0]):
+            offenders.append(
+                f"{rel}:{node.lineno}: tsv_density with a hardcoded die "
+                "pair — use floorplan.tsv_densities(grid) over all "
+                "adjacent pairs"
+            )
+    return offenders
+
+
+def test_no_rogue_solver_or_tsv_call_sites():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        offenders.extend(_audit_file(path))
+    assert not offenders, "\n".join(offenders)
+
+
+def test_allowlist_is_minimal():
+    """Every allowlisted module actually uses its privilege — stale
+    entries would quietly widen the audit hole."""
+    for rel in ALLOWLIST:
+        tree = ast.parse((SRC / rel).read_text())
+        used = {
+            _called_name(node)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+        }
+        assert used & OWNED_CONSTRUCTORS, (
+            f"{rel} is allowlisted but constructs nothing owned"
+        )
+
+
+def test_audit_catches_a_planted_offender(tmp_path):
+    """The lint itself is tested: a synthetic offender must be flagged."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(fp, grid):\n"
+        "    s = build_stack(fp.stack, grid)\n"
+        "    d = fp.tsv_density((0, 1), grid)\n"
+        "    return s, d\n"
+    )
+    offenders = _audit_file_at(bad)
+    assert len(offenders) == 2
+    assert "build_stack" in offenders[0]
+    assert "hardcoded die pair" in offenders[1]
+
+
+def _audit_file_at(path: Path) -> list:
+    """_audit_file for a file outside SRC (test fixture support)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _called_name(node)
+        if name in OWNED_CONSTRUCTORS:
+            offenders.append(f"{path.name}:{node.lineno}: {name}(...)")
+        if name == "tsv_density" and node.args and _is_literal_pair(node.args[0]):
+            offenders.append(
+                f"{path.name}:{node.lineno}: hardcoded die pair"
+            )
+    return offenders

@@ -1,0 +1,296 @@
+"""Runtime DVFS mitigation: determinism, leakage reduction, wire schema.
+
+The governor's contract is *byte*-identical scores for one ``(seed,
+schedule)`` regardless of execution layout — solo ``run`` vs. batched
+``run_many``, trace count, process boundary — plus the physical claim
+that pseudo-random frequency hopping decorrelates the temperature trace
+from the secret activity sequence.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.die import StackConfig
+from repro.layout.floorplan import Floorplan3D
+from repro.layout.module import Module, Placement
+from repro.mitigation import (
+    MITIGATION_MODES,
+    DVFSchedule,
+    MitigationConfig,
+    evaluate_dvfs,
+)
+from repro.thermal.stack import TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    mods = {
+        "tx": Module("tx", 300, 300, power=2.0),
+        "bg1": Module("bg1", 300, 300, power=0.3),
+        "bg2": Module("bg2", 300, 300, power=0.3),
+        "rx": Module("rx", 400, 400, power=0.4),
+    }
+    placements = {
+        "tx": Placement(mods["tx"], 100, 100, die=0),
+        "bg1": Placement(mods["bg1"], 600, 600, die=0),
+        "bg2": Placement(mods["bg2"], 100, 600, die=0),
+        "rx": Placement(mods["rx"], 100, 100, die=1),
+    }
+    return Floorplan3D(StackConfig.square(1000.0), placements)
+
+
+#: a small-but-real evaluation: enough windows for the correlation to be
+#: meaningful, small enough grid that the whole module runs in seconds
+SMALL = dict(
+    mode="dvfs", grid_nx=12, grid_ny=12,
+    dvfs_traces=3, dvfs_windows=12, dvfs_period=2, seed=7,
+)
+
+
+def _fingerprint(report):
+    """Every byte the report derives scores from."""
+    return (
+        report.baseline_correlations.tobytes(),
+        report.mitigated_correlations.tobytes(),
+        tuple(report.baseline_die_correlation),
+        tuple(report.mitigated_die_correlation),
+        tuple(report.baseline_local),
+        tuple(report.mitigated_local),
+    )
+
+
+def _evaluate_in_subprocess(kind):
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    mods = {
+        "tx": Module("tx", 300, 300, power=2.0),
+        "bg1": Module("bg1", 300, 300, power=0.3),
+        "bg2": Module("bg2", 300, 300, power=0.3),
+        "rx": Module("rx", 400, 400, power=0.4),
+    }
+    placements = {
+        "tx": Placement(mods["tx"], 100, 100, die=0),
+        "bg1": Placement(mods["bg1"], 600, 600, die=0),
+        "bg2": Placement(mods["bg2"], 100, 600, die=0),
+        "rx": Placement(mods["rx"], 100, 100, die=1),
+    }
+    fp = Floorplan3D(StackConfig.square(1000.0), placements)
+    topology = TopologyConfig(kind=kind) if kind != "3d" else None
+    report = evaluate_dvfs(fp, MitigationConfig(**SMALL), topology=topology)
+    return _fingerprint(report)
+
+
+class TestSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="levels"):
+            DVFSchedule(levels=1)
+        with pytest.raises(ValueError, match="min_scale"):
+            DVFSchedule(min_scale=0.0)
+        with pytest.raises(ValueError, match="windows"):
+            DVFSchedule(windows=1)
+
+    def test_from_mitigation(self):
+        config = MitigationConfig(**SMALL)
+        sched = DVFSchedule.from_mitigation(config)
+        assert sched.windows == 12 and sched.period == 2
+        assert sched.duration == pytest.approx(12 * 2 * config.dvfs_dt)
+
+    def test_scales_span(self):
+        scales = DVFSchedule(levels=4, min_scale=0.5).scales()
+        assert scales[0] == 0.5 and scales[-1] == 1.0
+        assert np.all(np.diff(scales) > 0)
+
+
+class TestDeterminism:
+    def test_batched_equals_unbatched_bytewise(self, floorplan):
+        """run_many(column_exact) and per-trace run are byte-identical."""
+        config = MitigationConfig(**SMALL)
+        batched = evaluate_dvfs(floorplan, config, batched=True)
+        solo = evaluate_dvfs(floorplan, config, batched=False)
+        assert _fingerprint(batched) == _fingerprint(solo)
+
+    def test_batched_equals_unbatched_on_interposer(self, floorplan):
+        config = MitigationConfig(**SMALL)
+        topo = TopologyConfig(kind="2.5d")
+        batched = evaluate_dvfs(floorplan, config, topology=topo, batched=True)
+        solo = evaluate_dvfs(floorplan, config, topology=topo, batched=False)
+        assert _fingerprint(batched) == _fingerprint(solo)
+
+    def test_trace_streams_independent_of_trace_count(self, floorplan):
+        """Per-trace RNG spawns by trace index, so the first k traces of a
+        larger evaluation are byte-identical to a smaller one — scores
+        cannot depend on how a sweep batches its traces."""
+        small = evaluate_dvfs(
+            floorplan, MitigationConfig(**dict(SMALL, dvfs_traces=2))
+        )
+        large = evaluate_dvfs(
+            floorplan, MitigationConfig(**dict(SMALL, dvfs_traces=3))
+        )
+        assert (
+            small.baseline_correlations.tobytes()
+            == large.baseline_correlations[:2].tobytes()
+        )
+        assert (
+            small.mitigated_correlations.tobytes()
+            == large.mitigated_correlations[:2].tobytes()
+        )
+
+    @pytest.mark.parametrize("kind", ["3d", "2.5d"])
+    def test_identical_across_process_boundaries(self, kind):
+        """Two worker processes and the parent all produce the same bytes
+        — the cross-process half of the determinism contract."""
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = list(pool.map(_evaluate_in_subprocess, [kind, kind]))
+        assert results[0] == results[1]
+        assert results[0] == _evaluate_in_subprocess(kind)
+
+
+class TestMitigationEffect:
+    def test_governor_reduces_leakage_3d(self, floorplan):
+        config = MitigationConfig(
+            mode="dvfs", grid_nx=12, grid_ny=12,
+            dvfs_traces=4, dvfs_windows=24, seed=0,
+        )
+        report = evaluate_dvfs(floorplan, config)
+        assert report.baseline_score > 0.3  # the attack works undefended
+        assert report.mitigated_score < report.baseline_score
+        assert report.reduction > 0.15
+
+    def test_governor_reduces_leakage_interposer(self, floorplan):
+        config = MitigationConfig(
+            mode="dvfs", grid_nx=12, grid_ny=12,
+            dvfs_traces=4, dvfs_windows=24, seed=0,
+        )
+        report = evaluate_dvfs(
+            floorplan, config, topology=TopologyConfig(kind="2.5d")
+        )
+        assert report.baseline_score > 0.3
+        assert report.reduction > 0.15
+
+    def test_report_scores_are_means(self, floorplan):
+        report = evaluate_dvfs(floorplan, MitigationConfig(**SMALL))
+        assert report.baseline_score == pytest.approx(
+            float(np.mean(np.abs(report.baseline_correlations)))
+        )
+        assert report.traces == SMALL["dvfs_traces"]
+        assert report.baseline_correlations.shape == (3, 2)
+
+
+class TestModeSchema:
+    def test_modes_registry(self):
+        assert MITIGATION_MODES == ("static", "dvfs", "combined")
+
+    def test_unknown_mode_rejected_at_construction(self):
+        with pytest.raises(
+            ValueError,
+            match="unknown mitigation mode 'jitter'; expected one of "
+                  "static, dvfs, combined",
+        ):
+            MitigationConfig(mode="jitter")
+
+    def test_unknown_mode_rejected_at_wire_boundary(self):
+        """from_json raises the *same* ValueError as construction — the
+        wire boundary can never admit a mode the constructor rejects."""
+        doc = MitigationConfig(mode="dvfs").to_json()
+        with pytest.raises(
+            ValueError,
+            match="unknown mitigation mode 'jitter'; expected one of "
+                  "static, dvfs, combined",
+        ):
+            MitigationConfig.from_json(dict(doc, mode="jitter"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mode=st.sampled_from(["static", "dvfs", "combined"]),
+        levels=st.integers(2, 6),
+        windows=st.integers(2, 48),
+        traces=st.integers(1, 8),
+    )
+    def test_mitigation_config_roundtrip(self, mode, levels, windows, traces):
+        config = MitigationConfig(
+            mode=mode, dvfs_levels=levels, dvfs_windows=windows,
+            dvfs_traces=traces,
+        )
+        clone = MitigationConfig.from_json(
+            json.loads(json.dumps(config.to_json()))
+        )
+        assert clone == config
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kind=st.sampled_from(["3d", "2.5d"]),
+        gap=st.integers(0, 6),
+        thickness=st.floats(1e-6, 1e-3),
+    )
+    def test_topology_config_roundtrip(self, kind, gap, thickness):
+        config = TopologyConfig(
+            kind=kind, gap_cells=gap, interposer_thickness=thickness
+        )
+        clone = TopologyConfig.from_json(
+            json.loads(json.dumps(config.to_json()))
+        )
+        assert clone == config
+
+    def test_unknown_keys_tolerated(self):
+        from repro.core.schema import SchemaWarning
+
+        doc = dict(TopologyConfig(kind="2.5d").to_json(), future_knob=1)
+        with pytest.warns(SchemaWarning, match="future_knob"):
+            assert TopologyConfig.from_json(doc) == TopologyConfig(kind="2.5d")
+        doc = dict(MitigationConfig(mode="dvfs").to_json(), future_knob=1)
+        with pytest.warns(SchemaWarning, match="future_knob"):
+            assert MitigationConfig.from_json(doc) == MitigationConfig(mode="dvfs")
+
+
+class TestSweepVocabulary:
+    """topology/mitigation_mode through BatchJob and JobSpec."""
+
+    def test_batch_job_validates_fields(self):
+        from repro.exploration.study import BatchJob
+
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            BatchJob(benchmark="n100", topology="4d")
+        with pytest.raises(ValueError, match="unknown mitigation mode"):
+            BatchJob(benchmark="n100", mitigation_mode="jitter")
+
+    def test_default_key_unchanged(self):
+        """Legacy sweeps resume: default topology/mode add no key text."""
+        from repro.exploration.study import BatchJob
+
+        key = BatchJob(benchmark="n100", seed=0).key()
+        assert "top" not in key and "mit" not in key
+        sweep = BatchJob(
+            benchmark="n100", seed=0, topology="2.5d", mitigation_mode="dvfs"
+        ).key()
+        assert sweep == key + "|top2.5d|mitdvfs"
+
+    def test_jobspec_roundtrip_carries_new_fields(self):
+        from repro.api import JobSpec
+
+        spec = JobSpec(
+            benchmark="n100", topology="2.5d", mitigation_mode="combined"
+        )
+        clone = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert clone == spec
+        assert clone.key().endswith("|top2.5d|mitcombined")
+
+    def test_jobspec_rejects_bad_fields_at_wire_boundary(self):
+        from repro.api import JobSpec
+
+        doc = JobSpec(benchmark="n100").to_json()
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            JobSpec.from_json(dict(doc, topology="4d"))
+        with pytest.raises(ValueError, match="unknown mitigation mode"):
+            JobSpec.from_json(dict(doc, mitigation_mode="jitter"))
+
+    def test_flow_config_roundtrip_with_topology(self):
+        from repro.core.config import FlowConfig
+
+        config = FlowConfig(topology=TopologyConfig(kind="2.5d", gap_cells=4))
+        clone = FlowConfig.from_json(json.loads(json.dumps(config.to_json())))
+        assert clone == config
+        assert clone.topology.gap_cells == 4
